@@ -1,0 +1,69 @@
+// Ablation: the hybrid protocol's eager-prefix size (paper uses 4 KB).
+// Measures MPI bandwidth around the protocol-switch region for several
+// prefix sizes, including 0 (pure rendez-vous).
+#include <benchmark/benchmark.h>
+
+#include "micro.hpp"
+
+namespace {
+
+using spam::mpi::MpiAmConfig;
+using spam::mpi::MpiImpl;
+using spam::mpi::MpiWorldConfig;
+
+MpiWorldConfig cfg_with_prefix(std::size_t prefix) {
+  MpiWorldConfig cfg;
+  cfg.impl = MpiImpl::kAmOptimized;
+  cfg.am_cfg = MpiAmConfig::opt();
+  cfg.am_cfg.eager_max = 0;  // force the large-message path everywhere
+  cfg.am_cfg.hybrid = prefix > 0;
+  if (prefix > 0) cfg.am_cfg.hybrid_prefix = prefix;
+  return cfg;
+}
+
+const std::size_t kPrefixes[] = {0, 1024, 2048, 4096, 7168};
+const std::size_t kSizes[] = {4096, 8192, 12288, 16384, 24576, 32768, 65536};
+
+void BM_HybridPrefix(benchmark::State& state) {
+  const std::size_t prefix = kPrefixes[state.range(0)];
+  const std::size_t size = kSizes[state.range(1)];
+  double bw = 0;
+  for (auto _ : state) {
+    bw = spam::bench::mpi_bandwidth_mbps(cfg_with_prefix(prefix), size);
+    state.SetIterationTime(1e-3);
+  }
+  state.counters["MBps"] = bw;
+}
+BENCHMARK(BM_HybridPrefix)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1, 2, 3, 4, 5, 6}})
+    ->UseManualTime()
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  spam::report::Table tab(
+      "Hybrid-prefix ablation — MPI bandwidth (MB/s) by prefix size");
+  std::vector<std::string> hdr{"bytes"};
+  for (std::size_t p : kPrefixes) {
+    hdr.push_back(p == 0 ? "pure rdv" : std::to_string(p) + "B prefix");
+  }
+  tab.set_header(hdr);
+  for (std::size_t s : kSizes) {
+    std::vector<std::string> row{std::to_string(s)};
+    for (std::size_t p : kPrefixes) {
+      row.push_back(spam::report::fmt(
+          spam::bench::mpi_bandwidth_mbps(cfg_with_prefix(p), s)));
+    }
+    tab.add_row(row);
+  }
+  tab.print();
+  std::printf(
+      "\nDesign-choice reading: the prefix keeps the pipe full during the "
+      "rendez-vous\nhandshake; gains should saturate near the paper's 4 KB "
+      "choice.\n");
+  return 0;
+}

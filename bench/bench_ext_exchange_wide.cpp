@@ -1,0 +1,106 @@
+// Extension: (a) bidirectional *exchange* bandwidth — the companion
+// measurement the paper's TR reports (footnote 3) — and (b) the AM
+// microbenchmark summary on wide nodes (the paper quotes thin nodes only).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "micro.hpp"
+
+namespace {
+
+/// Both nodes stream `total` bytes at each other simultaneously with
+/// pipelined async stores; reports the per-node send bandwidth.
+double exchange_bandwidth_mbps(std::size_t piece,
+                               spam::sphw::SpParams hw) {
+  spam::sim::World world(2);
+  spam::sphw::SpMachine machine(world, hw);
+  spam::am::AmNet net(machine);
+  const std::size_t total = 1 << 20;
+  const std::size_t count = total / piece;
+  static std::vector<std::byte> src, d0, d1;
+  src.assign(piece, std::byte{0x11});
+  d0.assign(piece, std::byte{0});
+  d1.assign(piece, std::byte{0});
+  std::size_t done[2] = {0, 0};
+  spam::sim::Time finish[2] = {0, 0};
+
+  for (int r = 0; r < 2; ++r) {
+    world.spawn(r, [&, r](spam::sim::NodeCtx& ctx) {
+      auto& ep = net.ep(r);
+      auto* dst = r == 0 ? d1.data() : d0.data();
+      for (std::size_t i = 0; i < count; ++i) {
+        ep.store_async(1 - r, dst, src.data(), piece, 0, 0,
+                       [&, r] { ++done[r]; });
+      }
+      ep.poll_until(
+          [&] { return done[0] == count && done[1] == count; });
+      finish[r] = ctx.now();
+    });
+  }
+  world.run();
+  const double secs =
+      spam::sim::to_sec(std::max(finish[0], finish[1]));
+  return static_cast<double>(total) / secs / 1e6;
+}
+
+void BM_Exchange(benchmark::State& state) {
+  double mbps = 0;
+  for (auto _ : state) {
+    mbps = exchange_bandwidth_mbps(static_cast<std::size_t>(state.range(0)),
+                                   spam::sphw::SpParams::thin_node());
+    state.SetIterationTime(1e-3);
+  }
+  state.counters["MBps_per_node"] = mbps;
+}
+BENCHMARK(BM_Exchange)->Arg(1024)->Arg(8192)->Arg(65536)
+    ->UseManualTime()->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  const auto thin = spam::sphw::SpParams::thin_node();
+  const auto wide = spam::sphw::SpParams::wide_node();
+
+  spam::report::Table ex(
+      "Extension — bidirectional exchange bandwidth per node (MB/s)");
+  ex.set_header({"piece bytes", "one-way (thin)", "exchange (thin)",
+                 "exchange (wide)"});
+  for (std::size_t piece : {std::size_t{1024}, std::size_t{8192},
+                            std::size_t{65536}}) {
+    ex.add_row({std::to_string(piece),
+                spam::report::fmt(spam::bench::am_bandwidth_mbps(
+                    spam::bench::AmBwMode::kPipelinedAsyncStore, piece, thin,
+                    {})),
+                spam::report::fmt(exchange_bandwidth_mbps(piece, thin)),
+                spam::report::fmt(exchange_bandwidth_mbps(piece, wide))});
+  }
+  ex.print();
+
+  spam::report::Table am(
+      "Extension — AM microbenchmarks, thin vs wide nodes");
+  am.set_header({"metric", "thin", "wide"});
+  am.add_row({"one-word round-trip (us)",
+              spam::report::fmt(spam::bench::am_rtt_us(1, thin)),
+              spam::report::fmt(spam::bench::am_rtt_us(1, wide))});
+  am.add_row({"async-store r-inf (MB/s)",
+              spam::report::fmt(spam::bench::am_bandwidth_mbps(
+                  spam::bench::AmBwMode::kPipelinedAsyncStore, 1 << 20, thin,
+                  {})),
+              spam::report::fmt(spam::bench::am_bandwidth_mbps(
+                  spam::bench::AmBwMode::kPipelinedAsyncStore, 1 << 20, wide,
+                  {}))});
+  am.print();
+
+  std::printf(
+      "\nReading: exchange bandwidth stays near the one-way rate — the "
+      "links are\nfull-duplex and the adapter rx/tx pipelines are "
+      "independent; the receiver's CPU\nbudget (copies + acks) is the "
+      "contended resource.  Wide nodes shave host-side\ncosts, helping "
+      "latency slightly and bandwidth marginally (the link still "
+      "binds).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Table 2: cost of am_request_N / am_reply_N calls,
+// plus the poll costs quoted in section 2.5.
+#include <benchmark/benchmark.h>
+
+#include "micro.hpp"
+
+namespace {
+
+void BM_AmRequestCost(benchmark::State& state) {
+  const int words = static_cast<int>(state.range(0));
+  double us = 0;
+  for (auto _ : state) {
+    us = spam::bench::am_request_cost_us(words);
+    state.SetIterationTime(us * 1e-6);
+  }
+  state.counters["sim_us"] = us;
+}
+BENCHMARK(BM_AmRequestCost)->DenseRange(1, 4)->UseManualTime()->Iterations(1);
+
+void BM_AmReplyCost(benchmark::State& state) {
+  const int words = static_cast<int>(state.range(0));
+  double us = 0;
+  for (auto _ : state) {
+    us = spam::bench::am_reply_cost_us(words);
+    state.SetIterationTime(us * 1e-6);
+  }
+  state.counters["sim_us"] = us;
+}
+BENCHMARK(BM_AmReplyCost)->DenseRange(1, 4)->UseManualTime()->Iterations(1);
+
+void BM_AmPollEmpty(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    us = spam::bench::am_poll_empty_us();
+    state.SetIterationTime(us * 1e-6);
+  }
+  state.counters["sim_us"] = us;
+}
+BENCHMARK(BM_AmPollEmpty)->UseManualTime()->Iterations(1);
+
+void BM_AmPollPerMessage(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    us = spam::bench::am_poll_per_msg_us();
+    state.SetIterationTime(us * 1e-6);
+  }
+  state.counters["sim_us"] = us;
+}
+BENCHMARK(BM_AmPollPerMessage)->UseManualTime()->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  spam::report::PaperComparison cmp(
+      "Table 2 — cost of am_request_N / am_reply_N (thin nodes)");
+  const double paper_req[] = {7.7, 7.9, 8.0, 8.2};
+  const double paper_rep[] = {4.0, 4.1, 4.3, 4.4};
+  for (int n = 1; n <= 4; ++n) {
+    cmp.add("am_request_" + std::to_string(n),
+            spam::report::fmt_us(paper_req[n - 1]),
+            spam::report::fmt_us(spam::bench::am_request_cost_us(n)),
+            "includes one empty poll");
+    cmp.add("am_reply_" + std::to_string(n),
+            spam::report::fmt_us(paper_rep[n - 1]),
+            spam::report::fmt_us(spam::bench::am_reply_cost_us(n)));
+  }
+  cmp.add("am_poll (empty network)", spam::report::fmt_us(1.3),
+          spam::report::fmt_us(spam::bench::am_poll_empty_us()));
+  cmp.add("per received message", spam::report::fmt_us(1.8),
+          spam::report::fmt_us(spam::bench::am_poll_per_msg_us()));
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,441 @@
+#include "micro.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace spam::bench {
+
+namespace {
+
+struct AmFixture {
+  sim::World world;
+  sphw::SpMachine machine;
+  am::AmNet net;
+  AmFixture(int nodes, sphw::SpParams hw, am::AmParams amp)
+      : world(nodes), machine(world, hw), net(machine, amp) {}
+};
+
+std::vector<std::byte> filled(std::size_t n) {
+  return std::vector<std::byte>(n, std::byte{0x5a});
+}
+
+}  // namespace
+
+double am_rtt_us(int words, sphw::SpParams hw, am::AmParams amp) {
+  AmFixture f(2, hw, amp);
+  am::Endpoint& e0 = f.net.ep(0);
+  am::Endpoint& e1 = f.net.ep(1);
+  int pongs = 0;
+  const int h_pong = e0.register_handler(
+      [&](am::Endpoint&, am::Token, const am::Word*, int) { ++pongs; });
+  const int h_ping = e1.register_handler(
+      [&, h_pong](am::Endpoint& ep, am::Token t, const am::Word* a, int n) {
+        if (n == 1) ep.reply_1(t, h_pong, a[0]);
+        else if (n == 2) ep.reply_2(t, h_pong, a[0], a[1]);
+        else if (n == 3) ep.reply_3(t, h_pong, a[0], a[1], a[2]);
+        else ep.reply_4(t, h_pong, a[0], a[1], a[2], a[3]);
+      });
+
+  sim::Time total = 0;
+  constexpr int kWarm = 4, kIters = 32;
+  f.world.spawn(0, [&](sim::NodeCtx& ctx) {
+    auto fire = [&] {
+      if (words == 1) e0.request_1(1, h_ping, 1);
+      else if (words == 2) e0.request_2(1, h_ping, 1, 2);
+      else if (words == 3) e0.request_3(1, h_ping, 1, 2, 3);
+      else e0.request_4(1, h_ping, 1, 2, 3, 4);
+    };
+    for (int i = 0; i < kWarm; ++i) {
+      const int want = pongs + 1;
+      fire();
+      e0.poll_until([&] { return pongs >= want; });
+    }
+    const sim::Time t0 = ctx.now();
+    for (int i = 0; i < kIters; ++i) {
+      const int want = pongs + 1;
+      fire();
+      e0.poll_until([&] { return pongs >= want; });
+    }
+    total = ctx.now() - t0;
+  });
+  f.world.spawn(1, [&](sim::NodeCtx&) {
+    e1.poll_until([&] { return pongs >= kWarm + kIters; });
+  });
+  f.world.run();
+  return sim::to_usec(total) / kIters;
+}
+
+double raw_rtt_us(sphw::SpParams hw) {
+  // Raw ping-pong straight on the adapter: header-only packets, no
+  // sequence numbers, no retransmission state, no per-message flow
+  // bookkeeping.  Fixed software costs mirror the AM request/reply paths
+  // minus the flow-control work the paper attributes the extra 4.5 us to.
+  sim::World world(2);
+  sphw::SpMachine machine(world, hw);
+  constexpr double kSendSw = 2.6, kReplySw = 1.3, kPoll = 1.2, kHandle = 0.95;
+
+  sim::Time total = 0;
+  constexpr int kWarm = 2, kIters = 32;
+  world.spawn(0, [&](sim::NodeCtx& ctx) {
+    auto& ad = machine.adapter(0);
+    for (int i = 0; i < kWarm + kIters; ++i) {
+      if (i == kWarm) total = ctx.now();
+      ctx.elapse(sim::usec(kSendSw));
+      sphw::Packet p;
+      p.dst = 1;
+      p.payload_bytes = 4;
+      ad.host_enqueue(ctx, std::move(p));
+      ctx.poll_until([&] { return ad.host_rx_ready(); }, sim::usec(kPoll));
+      ad.host_rx_take(ctx);
+      ctx.elapse(sim::usec(kHandle));
+    }
+    total = ctx.now() - total;
+  });
+  world.spawn(1, [&](sim::NodeCtx& ctx) {
+    auto& ad = machine.adapter(1);
+    for (int i = 0; i < kWarm + kIters; ++i) {
+      ctx.poll_until([&] { return ad.host_rx_ready(); }, sim::usec(kPoll));
+      ad.host_rx_take(ctx);
+      ctx.elapse(sim::usec(kHandle));
+      ctx.elapse(sim::usec(kReplySw));
+      sphw::Packet p;
+      p.dst = 0;
+      p.payload_bytes = 4;
+      ad.host_enqueue(ctx, std::move(p));
+    }
+  });
+  world.run();
+  return sim::to_usec(total) / kIters;
+}
+
+double am_request_cost_us(int words) {
+  // Time of a successful am_request_N call (includes the poll it performs;
+  // paper Table 2 assumes that poll finds the network empty).
+  AmFixture f(2, sphw::SpParams::thin_node(), {});
+  am::Endpoint& e0 = f.net.ep(0);
+  am::Endpoint& e1 = f.net.ep(1);
+  int served = 0;
+  const int h_serve = e1.register_handler(
+      [&](am::Endpoint&, am::Token, const am::Word*, int) { ++served; });
+
+  sim::Time req_cost = 0;
+  f.world.spawn(0, [&](sim::NodeCtx& ctx) {
+    const sim::Time t0 = ctx.now();
+    if (words == 1) e0.request_1(1, h_serve, 1);
+    else if (words == 2) e0.request_2(1, h_serve, 1, 2);
+    else if (words == 3) e0.request_3(1, h_serve, 1, 2, 3);
+    else e0.request_4(1, h_serve, 1, 2, 3, 4);
+    req_cost = ctx.now() - t0;
+    e0.poll_until([&] { return served >= 1; });
+  });
+  f.world.spawn(1, [&](sim::NodeCtx&) {
+    e1.poll_until([&] { return served >= 1; });
+  });
+  f.world.run();
+  return sim::to_usec(req_cost);
+}
+
+double am_reply_cost_us(int words) {
+  // Time the am_reply_N call alone, invoked from a handler.
+  AmFixture f(2, sphw::SpParams::thin_node(), {});
+  am::Endpoint& e0 = f.net.ep(0);
+  am::Endpoint& e1 = f.net.ep(1);
+  bool ponged = false;
+  const int h_pong = e0.register_handler(
+      [&](am::Endpoint&, am::Token, const am::Word*, int) { ponged = true; });
+  sim::Time reply_cost = 0;
+  const int h_serve = e1.register_handler(
+      [&, h_pong](am::Endpoint& ep, am::Token t, const am::Word* a, int n) {
+        const sim::Time t0 = ep.ctx().now();
+        if (n == 1) ep.reply_1(t, h_pong, a[0]);
+        else if (n == 2) ep.reply_2(t, h_pong, a[0], a[1]);
+        else if (n == 3) ep.reply_3(t, h_pong, a[0], a[1], a[2]);
+        else ep.reply_4(t, h_pong, a[0], a[1], a[2], a[3]);
+        reply_cost = ep.ctx().now() - t0;
+      });
+
+  f.world.spawn(0, [&](sim::NodeCtx&) {
+    if (words == 1) e0.request_1(1, h_serve, 1);
+    else if (words == 2) e0.request_2(1, h_serve, 1, 2);
+    else if (words == 3) e0.request_3(1, h_serve, 1, 2, 3);
+    else e0.request_4(1, h_serve, 1, 2, 3, 4);
+    e0.poll_until([&] { return ponged; });
+  });
+  f.world.spawn(1, [&](sim::NodeCtx&) {
+    e1.poll_until([&] { return ponged; });
+  });
+  f.world.run();
+  return sim::to_usec(reply_cost);
+}
+
+double am_poll_empty_us() {
+  AmFixture f(2, sphw::SpParams::thin_node(), {});
+  sim::Time cost = 0;
+  f.world.spawn(0, [&](sim::NodeCtx& ctx) {
+    const sim::Time t0 = ctx.now();
+    f.net.ep(0).poll();
+    cost = ctx.now() - t0;
+  });
+  f.world.run();
+  return sim::to_usec(cost);
+}
+
+double am_poll_per_msg_us() {
+  AmFixture f(2, sphw::SpParams::thin_node(), {});
+  am::Endpoint& e0 = f.net.ep(0);
+  am::Endpoint& e1 = f.net.ep(1);
+  int got = 0;
+  const int h = e1.register_handler(
+      [&](am::Endpoint&, am::Token, const am::Word*, int) { ++got; });
+  sim::Time poll_with_msg = 0;
+  f.world.spawn(0, [&](sim::NodeCtx&) { e0.request_1(1, h, 7); });
+  f.world.spawn(1, [&](sim::NodeCtx& ctx) {
+    ctx.poll_until([&] { return e1.adapter().host_rx_ready(); },
+                   sim::usec(0.3));
+    const sim::Time t0 = ctx.now();
+    e1.poll();
+    poll_with_msg = ctx.now() - t0;
+  });
+  f.world.run();
+  return sim::to_usec(poll_with_msg) - am_poll_empty_us();
+}
+
+double am_bandwidth_mbps(AmBwMode mode, std::size_t bytes, sphw::SpParams hw,
+                         am::AmParams amp) {
+  AmFixture f(2, hw, amp);
+  am::Endpoint& e0 = f.net.ep(0);
+  am::Endpoint& e1 = f.net.ep(1);
+  const std::size_t total =
+      std::max<std::size_t>(bytes, std::min<std::size_t>(1 << 20, bytes * 64));
+  const std::size_t count = total / bytes;
+  auto src = filled(bytes);
+  std::vector<std::byte> dst(bytes * std::min<std::size_t>(count, 64));
+  const std::size_t slots = dst.size() / bytes;
+
+  sim::Time elapsed = 0;
+  bool done = false;
+  f.world.spawn(0, [&](sim::NodeCtx& ctx) {
+    const sim::Time t0 = ctx.now();
+    switch (mode) {
+      case AmBwMode::kSyncStore:
+        for (std::size_t i = 0; i < count; ++i) {
+          e0.store(1, dst.data() + (i % slots) * bytes, src.data(), bytes);
+          e0.poll_until([&] { return e0.outstanding_bulk_ops() == 0; });
+        }
+        break;
+      case AmBwMode::kSyncGet:
+        for (std::size_t i = 0; i < count; ++i) {
+          e0.get_blocking(1, src.data(), dst.data() + (i % slots) * bytes,
+                          bytes);
+        }
+        break;
+      case AmBwMode::kPipelinedAsyncStore: {
+        std::size_t completions = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+          e0.store_async(1, dst.data() + (i % slots) * bytes, src.data(),
+                         bytes, 0, 0, [&] { ++completions; });
+        }
+        e0.poll_until([&] { return completions == count; });
+        break;
+      }
+      case AmBwMode::kPipelinedAsyncGet: {
+        std::size_t completions = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+          e0.get(1, src.data(), dst.data() + (i % slots) * bytes, bytes, 0, 0,
+                 [&] { ++completions; });
+        }
+        e0.poll_until([&] { return completions == count; });
+        break;
+      }
+    }
+    elapsed = ctx.now() - t0;
+    done = true;
+  });
+  f.world.spawn(1, [&](sim::NodeCtx&) {
+    e1.poll_until([&] { return done; });
+  });
+  f.world.run();
+  return static_cast<double>(bytes * count) / sim::to_sec(elapsed) / 1e6;
+}
+
+double mpl_rtt_us(sphw::SpParams hw, mpl::MplParams mp) {
+  sim::World world(2);
+  sphw::SpMachine machine(world, hw);
+  mpl::MplNet net(machine, mp);
+  sim::Time total = 0;
+  constexpr int kWarm = 2, kIters = 16;
+  world.spawn(0, [&](sim::NodeCtx& ctx) {
+    int w = 1, r = 0;
+    for (int i = 0; i < kWarm + kIters; ++i) {
+      if (i == kWarm) total = ctx.now();
+      net.ep(0).mpc_bsend(&w, sizeof w, 1, 0);
+      net.ep(0).mpc_brecv(&r, sizeof r, 1, 0);
+    }
+    total = ctx.now() - total;
+  });
+  world.spawn(1, [&](sim::NodeCtx&) {
+    int v = 0;
+    for (int i = 0; i < kWarm + kIters; ++i) {
+      net.ep(1).mpc_brecv(&v, sizeof v, 0, 0);
+      net.ep(1).mpc_bsend(&v, sizeof v, 0, 0);
+    }
+  });
+  world.run();
+  return sim::to_usec(total) / kIters;
+}
+
+double mpl_bandwidth_mbps(MplBwMode mode, std::size_t bytes,
+                          sphw::SpParams hw, mpl::MplParams mp) {
+  sim::World world(2);
+  sphw::SpMachine machine(world, hw);
+  mpl::MplNet net(machine, mp);
+  const std::size_t total =
+      std::max<std::size_t>(bytes, std::min<std::size_t>(1 << 20, bytes * 64));
+  const std::size_t count = total / bytes;
+  auto src = filled(bytes);
+  std::vector<std::byte> dst(bytes);
+
+  sim::Time elapsed = 0;
+  world.spawn(0, [&](sim::NodeCtx& ctx) {
+    const sim::Time t0 = ctx.now();
+    if (mode == MplBwMode::kBlocking) {
+      for (std::size_t i = 0; i < count; ++i) {
+        net.ep(0).mpc_bsend(src.data(), bytes, 1, 0);
+        char fin = 0;
+        net.ep(0).mpc_brecv(&fin, 0, 1, 1);  // 0-byte echo per transfer
+      }
+    } else {
+      std::vector<int> handles;
+      handles.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        handles.push_back(net.ep(0).mpc_send(src.data(), bytes, 1, 0));
+      }
+      for (int h : handles) net.ep(0).mpc_wait(h);
+      char fin = 0;
+      net.ep(0).mpc_brecv(&fin, 0, 1, 1);  // single trailing echo
+    }
+    elapsed = ctx.now() - t0;
+  });
+  world.spawn(1, [&](sim::NodeCtx&) {
+    if (mode == MplBwMode::kBlocking) {
+      for (std::size_t i = 0; i < count; ++i) {
+        net.ep(1).mpc_brecv(dst.data(), bytes, 0, 0);
+        char fin = 0;
+        net.ep(1).mpc_bsend(&fin, 0, 0, 1);
+      }
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        net.ep(1).mpc_brecv(dst.data(), bytes, 0, 0);
+      }
+      char fin = 0;
+      net.ep(1).mpc_bsend(&fin, 0, 0, 1);
+    }
+  });
+  world.run();
+  return static_cast<double>(bytes * count) / sim::to_sec(elapsed) / 1e6;
+}
+
+std::vector<std::size_t> figure3_sizes() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 16; s <= (1u << 20); s *= 2) {
+    sizes.push_back(s);
+    if (s * 3 / 2 < (1u << 20)) sizes.push_back(s * 3 / 2);
+  }
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+double mpi_hop_latency_us(const mpi::MpiWorldConfig& cfg, std::size_t bytes) {
+  mpi::MpiWorld w(cfg);
+  static std::vector<std::byte> buf;
+  buf.assign(std::max<std::size_t>(bytes, 1), std::byte{1});
+  sim::Time total = 0;
+  constexpr int kWarm = 1, kIters = 4;
+  const int ring = w.size();
+  w.run([&](mpi::Mpi& mpi) {
+    const int me = mpi.rank();
+    const int right = (me + 1) % ring;
+    const int left = (me + ring - 1) % ring;
+    for (int i = 0; i < kWarm + kIters; ++i) {
+      if (me == 0) {
+        if (i == kWarm) total = mpi.ctx().now();
+        mpi.send(buf.data(), bytes, right, 5);
+        mpi.recv(buf.data(), bytes, left, 5);
+        if (i == kWarm + kIters - 1) total = mpi.ctx().now() - total;
+      } else {
+        mpi.recv(buf.data(), bytes, left, 5);
+        mpi.send(buf.data(), bytes, right, 5);
+      }
+    }
+  });
+  return sim::to_usec(total) / kIters / ring;
+}
+
+double mpi_bandwidth_mbps(const mpi::MpiWorldConfig& cfg, std::size_t bytes) {
+  mpi::MpiWorldConfig c2 = cfg;
+  c2.nodes = 2;
+  mpi::MpiWorld w(c2);
+  const std::size_t total =
+      std::max<std::size_t>(bytes, std::min<std::size_t>(1 << 20, bytes * 32));
+  const std::size_t count = total / bytes;
+  static std::vector<std::byte> src, dst;
+  src.assign(bytes, std::byte{2});
+  dst.assign(bytes, std::byte{0});
+  sim::Time elapsed = 0;
+  w.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      const sim::Time t0 = mpi.ctx().now();
+      for (std::size_t i = 0; i < count; ++i) {
+        mpi.send(src.data(), bytes, 1, 3);
+      }
+      char fin = 0;
+      mpi.recv(&fin, 1, 1, 4);
+      elapsed = mpi.ctx().now() - t0;
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        mpi.recv(dst.data(), bytes, 0, 3);
+      }
+      char fin = 1;
+      mpi.send(&fin, 1, 0, 4);
+    }
+  });
+  return static_cast<double>(bytes * count) / sim::to_sec(elapsed) / 1e6;
+}
+
+double am_store_hop_latency_us(std::size_t bytes, sphw::SpParams hw) {
+  // Reference curve: one-way am_store delivery time, measured at the
+  // receiving handler, averaged over a short train.
+  AmFixture f(2, hw, {});
+  am::Endpoint& e0 = f.net.ep(0);
+  am::Endpoint& e1 = f.net.ep(1);
+  auto src = filled(std::max<std::size_t>(bytes, 1));
+  std::vector<std::byte> dst(src.size());
+  int arrived = 0;
+  const int h = e1.register_bulk_handler(
+      [&](am::Endpoint&, am::Token, void*, std::size_t, am::Word) {
+        ++arrived;
+      });
+  sim::Time total = 0;
+  constexpr int kIters = 4;
+  f.world.spawn(0, [&](sim::NodeCtx& ctx) {
+    const sim::Time t0 = ctx.now();
+    for (int i = 0; i < kIters; ++i) {
+      e0.store(1, dst.data(), src.data(), bytes, h, 0);
+      e0.poll_until([&] { return arrived > i; });
+    }
+    total = ctx.now() - t0;
+  });
+  f.world.spawn(1, [&](sim::NodeCtx&) {
+    e1.poll_until([&] { return arrived >= kIters; });
+  });
+  f.world.run();
+  // The measured loop is send + remote-handler + ack; report half of the
+  // store round as the hop value, mirroring the figures' am_store line.
+  return sim::to_usec(total) / kIters / 2.0;
+}
+
+double am_store_bandwidth_mbps(std::size_t bytes, sphw::SpParams hw) {
+  return am_bandwidth_mbps(AmBwMode::kPipelinedAsyncStore, bytes, hw, {});
+}
+
+}  // namespace spam::bench

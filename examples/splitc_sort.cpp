@@ -1,0 +1,50 @@
+// Split-C demo: the paper's sample-sort benchmark on 8 simulated SP nodes,
+// over SP Active Messages and over MPL, in both the fine-grain and bulk
+// variants — the core "overhead beats latency" result of section 3.
+//
+//   $ ./splitc_sort [keys]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/splitc_apps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spam;
+
+  const std::size_t keys =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64 * 1024;
+
+  struct Case {
+    const char* label;
+    splitc::Backend backend;
+    apps::SortVariant variant;
+  };
+  const Case cases[] = {
+      {"SP AM,  one put per key ", splitc::Backend::kSpAm,
+       apps::SortVariant::kSmallMessage},
+      {"SP MPL, one put per key ", splitc::Backend::kSpMpl,
+       apps::SortVariant::kSmallMessage},
+      {"SP AM,  bulk stores     ", splitc::Backend::kSpAm,
+       apps::SortVariant::kBulk},
+      {"SP MPL, bulk stores     ", splitc::Backend::kSpMpl,
+       apps::SortVariant::kBulk},
+  };
+
+  std::printf("sample sort, %zu keys, 8 processors\n", keys);
+  std::printf("%-26s %10s %10s %10s  %s\n", "configuration", "total(s)",
+              "cpu(s)", "net(s)", "sorted?");
+  for (const Case& c : cases) {
+    splitc::SplitCConfig cfg;
+    cfg.nodes = 8;
+    cfg.backend = c.backend;
+    splitc::SplitCWorld world(cfg);
+    const apps::PhaseTimes r = apps::run_sample_sort(world, keys, c.variant);
+    std::printf("%-26s %10.4f %10.4f %10.4f  %s\n", c.label, r.total_s,
+                r.cpu_s, r.comm_s, r.valid ? "yes" : "NO");
+  }
+  std::printf(
+      "\nThe paper's point: per-message overhead dominates fine-grain "
+      "traffic, so the\nAM column beats MPL by several times on the "
+      "put-per-key runs and ties on bulk.\n");
+  return 0;
+}

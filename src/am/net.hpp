@@ -1,0 +1,36 @@
+// AmNet: one SP AM endpoint per node of an SpMachine, constructed lazily so
+// each endpoint binds to its node's context.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "am/endpoint.hpp"
+#include "am/params.hpp"
+#include "sphw/machine.hpp"
+
+namespace spam::am {
+
+class AmNet {
+ public:
+  explicit AmNet(sphw::SpMachine& machine, AmParams params = {})
+      : machine_(machine), params_(params) {
+    endpoints_.resize(static_cast<std::size_t>(machine.size()));
+    for (int n = 0; n < machine.size(); ++n) {
+      endpoints_[n] = std::make_unique<Endpoint>(
+          machine.world().node(n), machine.adapter(n), params_);
+    }
+  }
+
+  Endpoint& ep(int node) { return *endpoints_.at(node); }
+  int size() const { return static_cast<int>(endpoints_.size()); }
+  const AmParams& params() const { return params_; }
+  sphw::SpMachine& machine() { return machine_; }
+
+ private:
+  sphw::SpMachine& machine_;
+  AmParams params_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace spam::am

@@ -1,0 +1,59 @@
+// Protocol constants and software-cost calibration for SP Active Messages.
+#pragma once
+
+#include <cstdint>
+
+namespace spam::am {
+
+struct AmParams {
+  // --- Flow control (paper section 2.2) -----------------------------------
+  /// Sliding-window size in packets for the request channel.  Must be at
+  /// least two chunks so the chunk pipeline never stalls (paper: 72).
+  int request_window_packets = 72;
+  /// Reply-channel window; slightly larger to absorb start-up requests
+  /// turning into replies (paper: 76).
+  int reply_window_packets = 76;
+  /// Packets per chunk: 36 * 224 data bytes = 8064 bytes per chunk.
+  int chunk_packets = 36;
+  /// Explicit acknowledgement once this fraction of the window is
+  /// unacknowledged at the receiver (paper: one quarter).
+  int explicit_ack_divisor = 4;
+  /// Consecutive unsuccessful polls with unacked traffic outstanding before
+  /// the keep-alive probe fires (timeouts are emulated by counting polls).
+  int keepalive_poll_threshold = 2000;
+
+  // --- Interrupt-driven reception (paper 1.1: "available but not used") --
+  /// When true, Endpoint::compute() services arrivals via interrupts
+  /// instead of leaving them for the next poll.
+  bool interrupt_driven = false;
+  /// Cost of taking one receive interrupt (AIX context switch + dispatch).
+  double interrupt_latency_us = 55.0;
+
+  // --- Host software costs (calibrated against paper Table 2) -------------
+  /// CPU cost of polling an empty network (paper: 1.3 us).
+  double poll_empty_us = 1.3;
+  /// Fixed per-received-message handling on top of the FIFO copy
+  /// (copy + this ≈ paper's 1.8 us per message).
+  double per_msg_handling_us = 1.35;
+  /// Fixed software cost of am_request_* beyond FIFO writes/doorbell.
+  double request_cpu_us = 3.9;
+  /// Fixed software cost of am_reply_* beyond FIFO writes/doorbell.
+  double reply_cpu_us = 1.5;
+  /// Marshalling cost per argument word beyond the first (paper Table 2
+  /// shows ~0.15-0.2 us per extra word).
+  double per_word_us = 0.15;
+  /// Flow-control bookkeeping per transmitted packet (sequence numbers,
+  /// retransmission save, window accounting).
+  double bookkeeping_us = 0.8;
+  /// Software cost of initiating a bulk operation (argument checks, op
+  /// record setup).
+  double bulk_setup_us = 4.0;
+  /// During bulk sends the packet-length array is written once per this
+  /// many packets ("writing the lengths of several packets at a time"),
+  /// letting the adapter start transmitting while the host still writes.
+  int doorbell_batch_packets = 4;
+  /// Software cost of processing one control packet (ack/nack/probe).
+  double control_cpu_us = 0.6;
+};
+
+}  // namespace spam::am

@@ -1,0 +1,505 @@
+#include "apps/nas.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <vector>
+
+namespace spam::apps {
+
+using mpi::Dtype;
+using mpi::Mpi;
+using mpi::ReduceOp;
+
+namespace {
+
+constexpr double kUsPerFlop = 0.025;  // Power2 sustained ~40 Mflops
+
+void charge_flops(Mpi& m, std::uint64_t n) {
+  m.ctx().elapse(sim::usec(static_cast<double>(n) * kUsPerFlop));
+}
+
+/// Iterative radix-2 FFT (real computation; caller charges flops).
+void fft_inplace(std::complex<double>* a, int n) {
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * M_PI / len;
+    const std::complex<double> wl(std::cos(ang), std::sin(ang));
+    for (int i = 0; i < n; i += len) {
+      std::complex<double> w(1.0);
+      for (int k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+}
+
+int ilog2(int n) {
+  int r = 0;
+  while ((1 << r) < n) ++r;
+  return r;
+}
+
+struct TimeKeeper {
+  explicit TimeKeeper(int p) : totals(static_cast<std::size_t>(p), 0) {}
+  std::vector<sim::Time> totals;
+  double max_s() const {
+    sim::Time m = 0;
+    for (sim::Time t : totals) m = std::max(m, t);
+    return sim::to_sec(m);
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FT — 3D FFT with alltoall transpose
+// ---------------------------------------------------------------------------
+
+NasResult run_ft(mpi::MpiWorld& world, int n, int iters) {
+  const int p = world.size();
+  assert(n % p == 0 && (n & (n - 1)) == 0);
+  const int lnz = n / p;  // planes per rank (slab along z)
+  using C = std::complex<double>;
+  const std::size_t local = static_cast<std::size_t>(n) * n * lnz;
+
+  TimeKeeper tk(p);
+  double checksum = 0;
+
+  world.run([&](Mpi& mpi) {
+    const int me = mpi.rank();
+    std::vector<C> grid(local);
+    for (std::size_t i = 0; i < local; ++i) {
+      const auto g = static_cast<double>(i + local * static_cast<std::size_t>(me));
+      grid[i] = C(std::sin(0.001 * g), std::cos(0.002 * g));
+    }
+    std::vector<C> send(local), recvb(local), row(static_cast<std::size_t>(n));
+    const std::uint64_t fft_flops = 5ull * n * ilog2(n);
+
+    mpi.barrier();
+    const sim::Time t0 = mpi.ctx().now();
+    double local_sum = 0;
+
+    for (int it = 0; it < iters; ++it) {
+      // FFT along x (contiguous rows).
+      for (int z = 0; z < lnz; ++z) {
+        for (int y = 0; y < n; ++y) {
+          fft_inplace(grid.data() + (static_cast<std::size_t>(z) * n + y) * n,
+                      n);
+        }
+      }
+      charge_flops(mpi, fft_flops * static_cast<std::uint64_t>(n) * lnz);
+      // FFT along y (gather/scatter strided rows).
+      for (int z = 0; z < lnz; ++z) {
+        for (int x = 0; x < n; ++x) {
+          for (int y = 0; y < n; ++y) {
+            row[static_cast<std::size_t>(y)] =
+                grid[(static_cast<std::size_t>(z) * n + y) * n + x];
+          }
+          fft_inplace(row.data(), n);
+          for (int y = 0; y < n; ++y) {
+            grid[(static_cast<std::size_t>(z) * n + y) * n + x] =
+                row[static_cast<std::size_t>(y)];
+          }
+        }
+      }
+      charge_flops(mpi, fft_flops * static_cast<std::uint64_t>(n) * lnz);
+
+      // Global transpose z <-> x via alltoall.
+      const int lx = n / p;
+      const std::size_t blk = static_cast<std::size_t>(lx) * n * lnz;
+      for (int d = 0; d < p; ++d) {
+        std::size_t w = static_cast<std::size_t>(d) * blk;
+        for (int z = 0; z < lnz; ++z) {
+          for (int y = 0; y < n; ++y) {
+            for (int x = d * lx; x < (d + 1) * lx; ++x) {
+              send[w++] = grid[(static_cast<std::size_t>(z) * n + y) * n + x];
+            }
+          }
+        }
+      }
+      mpi.ctx().elapse(sim::usec(local * 0.004));  // pack cost
+      mpi.alltoall(send.data(), recvb.data(), blk * sizeof(C));
+      // Unpack: new layout (x_local, y, z_global) with z contiguous.
+      for (int src = 0; src < p; ++src) {
+        std::size_t r = static_cast<std::size_t>(src) * blk;
+        for (int zl = 0; zl < lnz; ++zl) {
+          for (int y = 0; y < n; ++y) {
+            for (int xl = 0; xl < lx; ++xl) {
+              const int z = src * lnz + zl;
+              grid[(static_cast<std::size_t>(xl) * n + y) * n + z] =
+                  recvb[r++];
+            }
+          }
+        }
+      }
+      mpi.ctx().elapse(sim::usec(local * 0.004));  // unpack cost
+
+      // FFT along z (now contiguous) and evolve.
+      for (int xl = 0; xl < lx; ++xl) {
+        for (int y = 0; y < n; ++y) {
+          fft_inplace(grid.data() + (static_cast<std::size_t>(xl) * n + y) * n,
+                      n);
+        }
+      }
+      charge_flops(mpi, fft_flops * static_cast<std::uint64_t>(n) * lx);
+      const double phase = 0.5 + 0.25 * it;
+      for (auto& c : grid) c *= C(std::cos(phase), std::sin(phase));
+      charge_flops(mpi, 6ull * local);
+
+      // NAS-style per-iteration checksum over a sample of elements.
+      double s = 0;
+      for (std::size_t i = 0; i < local; i += 1021) s += std::abs(grid[i].real());
+      local_sum += s;
+    }
+    double global = 0;
+    mpi.allreduce(&local_sum, &global, 1, Dtype::kDouble, ReduceOp::kSum);
+    tk.totals[static_cast<std::size_t>(me)] = mpi.ctx().now() - t0;
+    if (me == 0) checksum = global;
+  });
+
+  return NasResult{tk.max_s(), checksum, true};
+}
+
+// ---------------------------------------------------------------------------
+// MG — V-cycles with halo exchange at every level
+// ---------------------------------------------------------------------------
+
+NasResult run_mg(mpi::MpiWorld& world, int n, int iters) {
+  const int p = world.size();
+  assert(n % p == 0);
+  const int lnz = n / p;  // slab planes per rank (fixed across levels)
+  TimeKeeper tk(p);
+  double checksum = 0;
+
+  world.run([&](Mpi& mpi) {
+    const int me = mpi.rank();
+    const int up = me + 1 < p ? me + 1 : -1;
+    const int down = me > 0 ? me - 1 : -1;
+
+    // Level l grid: nl x nl x lnz (x,y coarsened; z distribution fixed).
+    std::vector<int> nls;
+    for (int nl = n; nl >= 4; nl >>= 1) nls.push_back(nl);
+    const int levels = static_cast<int>(nls.size());
+    std::vector<std::vector<double>> u(static_cast<std::size_t>(levels));
+    for (int l = 0; l < levels; ++l) {
+      const auto nl = static_cast<std::size_t>(nls[static_cast<std::size_t>(l)]);
+      u[static_cast<std::size_t>(l)].assign(nl * nl * static_cast<std::size_t>(lnz), 0.0);
+    }
+    // Seed the fine grid.
+    for (std::size_t i = 0; i < u[0].size(); ++i) {
+      u[0][i] = std::sin(0.01 * static_cast<double>(
+                             i + u[0].size() * static_cast<std::size_t>(me)));
+    }
+
+    std::vector<double> halo_lo, halo_hi, out_plane;
+    auto smooth = [&](int l) {
+      const int nl = nls[static_cast<std::size_t>(l)];
+      auto& g = u[static_cast<std::size_t>(l)];
+      const std::size_t plane = static_cast<std::size_t>(nl) * nl;
+      // Halo exchange of boundary planes with slab neighbours.
+      halo_lo.assign(plane, 0.0);
+      halo_hi.assign(plane, 0.0);
+      const int tag = 100 + l;
+      if (down >= 0 && up >= 0) {
+        mpi.sendrecv(g.data(), plane * 8, down, tag, halo_hi.data(), plane * 8,
+                     up, tag);
+        mpi.sendrecv(g.data() + (static_cast<std::size_t>(lnz) - 1) * plane,
+                     plane * 8, up, tag, halo_lo.data(), plane * 8, down, tag);
+      } else if (up >= 0) {
+        mpi.recv(halo_hi.data(), plane * 8, up, tag);
+        mpi.send(g.data() + (static_cast<std::size_t>(lnz) - 1) * plane,
+                 plane * 8, up, tag);
+      } else if (down >= 0) {
+        mpi.send(g.data(), plane * 8, down, tag);
+        mpi.recv(halo_lo.data(), plane * 8, down, tag);
+      }
+      // Jacobi-style relaxation (real update, 8 flops/cell charged).
+      for (int z = 0; z < lnz; ++z) {
+        const double* below =
+            z > 0 ? g.data() + (static_cast<std::size_t>(z) - 1) * plane
+                  : halo_lo.data();
+        const double* above =
+            z + 1 < lnz ? g.data() + (static_cast<std::size_t>(z) + 1) * plane
+                        : halo_hi.data();
+        double* cur = g.data() + static_cast<std::size_t>(z) * plane;
+        for (int y = 1; y + 1 < nl; ++y) {
+          for (int x = 1; x + 1 < nl; ++x) {
+            const std::size_t i = static_cast<std::size_t>(y) * nl + x;
+            cur[i] = 0.5 * cur[i] +
+                     0.125 * (cur[i - 1] + cur[i + 1] + cur[i - nl] +
+                              cur[i + nl]) +
+                     0.125 * (below[i] + above[i]) + 1e-6;
+          }
+        }
+      }
+      charge_flops(mpi, 8ull * plane * static_cast<std::uint64_t>(lnz));
+    };
+
+    mpi.barrier();
+    const sim::Time t0 = mpi.ctx().now();
+    for (int it = 0; it < iters; ++it) {
+      // Down-sweep: smooth then restrict (2x2 average in x,y).
+      for (int l = 0; l + 1 < levels; ++l) {
+        smooth(l);
+        const int nf = nls[static_cast<std::size_t>(l)];
+        const int nc = nls[static_cast<std::size_t>(l) + 1];
+        auto& f = u[static_cast<std::size_t>(l)];
+        auto& c = u[static_cast<std::size_t>(l) + 1];
+        for (int z = 0; z < lnz; ++z) {
+          for (int y = 0; y < nc; ++y) {
+            for (int x = 0; x < nc; ++x) {
+              const std::size_t fi =
+                  (static_cast<std::size_t>(z) * nf + 2 * y) * nf + 2 * x;
+              c[(static_cast<std::size_t>(z) * nc + y) * nc + x] =
+                  0.25 * (f[fi] + f[fi + 1] + f[fi + nf] + f[fi + nf + 1]);
+            }
+          }
+        }
+        charge_flops(mpi, 4ull * static_cast<std::uint64_t>(nc) * nc * lnz);
+      }
+      smooth(levels - 1);
+      // Up-sweep: prolong (injection) then smooth.
+      for (int l = levels - 2; l >= 0; --l) {
+        const int nf = nls[static_cast<std::size_t>(l)];
+        const int nc = nls[static_cast<std::size_t>(l) + 1];
+        auto& f = u[static_cast<std::size_t>(l)];
+        auto& c = u[static_cast<std::size_t>(l) + 1];
+        for (int z = 0; z < lnz; ++z) {
+          for (int y = 0; y < nc; ++y) {
+            for (int x = 0; x < nc; ++x) {
+              const double v =
+                  c[(static_cast<std::size_t>(z) * nc + y) * nc + x];
+              f[(static_cast<std::size_t>(z) * nf + 2 * y) * nf + 2 * x] +=
+                  0.5 * v;
+            }
+          }
+        }
+        charge_flops(mpi, 2ull * static_cast<std::uint64_t>(nc) * nc * lnz);
+        smooth(l);
+      }
+    }
+    double local = 0;
+    for (double v : u[0]) local += v;
+    double global = 0;
+    mpi.allreduce(&local, &global, 1, Dtype::kDouble, ReduceOp::kSum);
+    tk.totals[static_cast<std::size_t>(mpi.rank())] = mpi.ctx().now() - t0;
+    if (me == 0) checksum = global;
+  });
+
+  return NasResult{tk.max_s(), checksum, true};
+}
+
+// ---------------------------------------------------------------------------
+// LU — pipelined SSOR wavefront with many small messages
+// ---------------------------------------------------------------------------
+
+NasResult run_lu(mpi::MpiWorld& world, int n, int iters) {
+  const int p = world.size();
+  assert(n % p == 0);
+  const int lrows = n / p;
+  constexpr int kBlockW = 32;  // column-block width => small messages
+  TimeKeeper tk(p);
+  double checksum = 0;
+
+  world.run([&](Mpi& mpi) {
+    const int me = mpi.rank();
+    std::vector<double> u(static_cast<std::size_t>(lrows) * n);
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      u[i] = std::cos(0.003 * static_cast<double>(
+                          i + u.size() * static_cast<std::size_t>(me)));
+    }
+    std::vector<double> north(static_cast<std::size_t>(kBlockW));
+
+    mpi.barrier();
+    const sim::Time t0 = mpi.ctx().now();
+    for (int it = 0; it < iters; ++it) {
+      // Forward wavefront (top-left to bottom-right), pipelined by column
+      // blocks: receive the boundary row segment from the north neighbour,
+      // relax, pass the southern boundary on.
+      for (int b = 0; b < n / kBlockW; ++b) {
+        const int x0 = b * kBlockW;
+        if (me > 0) {
+          mpi.recv(north.data(), kBlockW * 8, me - 1, 500 + b);
+        } else {
+          std::fill(north.begin(), north.end(), 1.0);
+        }
+        for (int r = 0; r < lrows; ++r) {
+          const double* up_row =
+              r > 0 ? u.data() + (static_cast<std::size_t>(r) - 1) * n
+                    : nullptr;
+          double* row = u.data() + static_cast<std::size_t>(r) * n;
+          for (int x = x0; x < x0 + kBlockW; ++x) {
+            const double west = x > 0 ? row[x - 1] : 1.0;
+            const double nn = up_row != nullptr
+                                  ? up_row[x]
+                                  : north[static_cast<std::size_t>(x - x0)];
+            row[x] = 0.6 * row[x] + 0.2 * west + 0.2 * nn;
+          }
+        }
+        charge_flops(mpi, 5ull * kBlockW * static_cast<std::uint64_t>(lrows));
+        if (me + 1 < p) {
+          mpi.send(u.data() + (static_cast<std::size_t>(lrows) - 1) * n + x0,
+                   kBlockW * 8, me + 1, 500 + b);
+        }
+      }
+      // Backward wavefront, mirrored.
+      for (int b = n / kBlockW - 1; b >= 0; --b) {
+        const int x0 = b * kBlockW;
+        if (me + 1 < p) {
+          mpi.recv(north.data(), kBlockW * 8, me + 1, 700 + b);
+        } else {
+          std::fill(north.begin(), north.end(), 1.0);
+        }
+        for (int r = lrows - 1; r >= 0; --r) {
+          const double* dn_row =
+              r + 1 < lrows ? u.data() + (static_cast<std::size_t>(r) + 1) * n
+                            : nullptr;
+          double* row = u.data() + static_cast<std::size_t>(r) * n;
+          for (int x = x0 + kBlockW - 1; x >= x0; --x) {
+            const double east = x + 1 < n ? row[x + 1] : 1.0;
+            const double ss = dn_row != nullptr
+                                  ? dn_row[x]
+                                  : north[static_cast<std::size_t>(x - x0)];
+            row[x] = 0.6 * row[x] + 0.2 * east + 0.2 * ss;
+          }
+        }
+        charge_flops(mpi, 5ull * kBlockW * static_cast<std::uint64_t>(lrows));
+        if (me > 0) {
+          mpi.send(u.data() + x0, kBlockW * 8, me - 1, 700 + b);
+        }
+      }
+    }
+    double local = 0;
+    for (double v : u) local += v;
+    double global = 0;
+    mpi.allreduce(&local, &global, 1, Dtype::kDouble, ReduceOp::kSum);
+    tk.totals[static_cast<std::size_t>(me)] = mpi.ctx().now() - t0;
+    if (me == 0) checksum = global;
+  });
+
+  return NasResult{tk.max_s(), checksum, true};
+}
+
+// ---------------------------------------------------------------------------
+// BT / SP — ADI sweeps on a square process grid
+// ---------------------------------------------------------------------------
+
+namespace {
+
+NasResult run_adi(mpi::MpiWorld& world, int n, int iters, int msgs_per_face,
+                  std::uint64_t flops_per_cell, int face_depth) {
+  const int p = world.size();
+  int q = 1;
+  while ((q + 1) * (q + 1) <= p) ++q;
+  assert(q * q == p && "ADI kernels need a square process count");
+  assert(n % q == 0);
+  const int tile = n / q;  // tile edge in x and y; z fully local
+  TimeKeeper tk(p);
+  double checksum = 0;
+
+  world.run([&](Mpi& mpi) {
+    const int me = mpi.rank();
+    const int px = me % q, py = me / q;
+    const int west = px > 0 ? me - 1 : -1;
+    const int east = px + 1 < q ? me + 1 : -1;
+    const int north = py > 0 ? me - q : -1;
+    const int south = py + 1 < q ? me + q : -1;
+
+    // Working tile: tile x tile x n cells.
+    std::vector<double> u(static_cast<std::size_t>(tile) * tile * n);
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      u[i] = std::sin(0.002 * static_cast<double>(
+                          i + u.size() * static_cast<std::size_t>(me)));
+    }
+    // A face message carries `face_depth` boundary layers of a tile face,
+    // split into msgs_per_face pieces (BT: 1 large; SP: several smaller).
+    const std::size_t face =
+        static_cast<std::size_t>(tile) * n * static_cast<std::size_t>(face_depth);
+    const std::size_t piece = face / static_cast<std::size_t>(msgs_per_face);
+    std::vector<double> fbuf(face), fin(face);
+    for (std::size_t i = 0; i < face; ++i) {
+      fbuf[i] = u[i % u.size()];
+    }
+
+    auto exchange = [&](int lo, int hi, int tag) {
+      for (int m = 0; m < msgs_per_face; ++m) {
+        const std::size_t off = static_cast<std::size_t>(m) * piece;
+        if (lo >= 0 && hi >= 0) {
+          mpi.sendrecv(fbuf.data() + off, piece * 8, lo, tag + m,
+                       fin.data() + off, piece * 8, hi, tag + m);
+          mpi.sendrecv(fbuf.data() + off, piece * 8, hi, tag + 100 + m,
+                       fin.data() + off, piece * 8, lo, tag + 100 + m);
+        } else if (hi >= 0) {
+          mpi.recv(fin.data() + off, piece * 8, hi, tag + m);
+          mpi.send(fbuf.data() + off, piece * 8, hi, tag + 100 + m);
+        } else if (lo >= 0) {
+          mpi.send(fbuf.data() + off, piece * 8, lo, tag + m);
+          mpi.recv(fin.data() + off, piece * 8, lo, tag + 100 + m);
+        }
+      }
+    };
+
+    mpi.barrier();
+    const sim::Time t0 = mpi.ctx().now();
+    const std::uint64_t cells = u.size();
+    for (int it = 0; it < iters; ++it) {
+      // x-sweep: exchange with west/east, then relax.
+      exchange(west, east, 1000 + 300 * it);
+      for (std::size_t i = 1; i < u.size(); ++i) {
+        u[i] = 0.7 * u[i] + 0.3 * u[i - 1] + 1e-7 * fin[i % face];
+      }
+      charge_flops(mpi, flops_per_cell * cells / 3);
+      // y-sweep: exchange with north/south.
+      exchange(north, south, 2000 + 300 * it);
+      const std::size_t stride = static_cast<std::size_t>(tile);
+      for (std::size_t i = stride; i < u.size(); ++i) {
+        u[i] = 0.7 * u[i] + 0.3 * u[i - stride] + 1e-7 * fin[i % face];
+      }
+      charge_flops(mpi, flops_per_cell * cells / 3);
+      // z-sweep: fully local.
+      const std::size_t zstride = static_cast<std::size_t>(tile) * tile;
+      for (std::size_t i = zstride; i < u.size(); ++i) {
+        u[i] = 0.7 * u[i] + 0.3 * u[i - zstride];
+      }
+      charge_flops(mpi, flops_per_cell * cells / 3);
+      // Refresh the outgoing faces from the tile.
+      for (std::size_t i = 0; i < face; ++i) fbuf[i] = u[i % u.size()];
+    }
+    double local = 0;
+    for (double v : u) local += v;
+    double global = 0;
+    mpi.allreduce(&local, &global, 1, Dtype::kDouble, ReduceOp::kSum);
+    tk.totals[static_cast<std::size_t>(me)] = mpi.ctx().now() - t0;
+    if (me == 0) checksum = global;
+  });
+
+  return NasResult{tk.max_s(), checksum, true};
+}
+
+}  // namespace
+
+NasResult run_bt(mpi::MpiWorld& world, int n, int iters) {
+  // BT: few, large messages; heavy per-cell work (5x5 block systems).
+  return run_adi(world, n, iters, /*msgs_per_face=*/1,
+                 /*flops_per_cell=*/220, /*face_depth=*/5);
+}
+
+NasResult run_sp(mpi::MpiWorld& world, int n, int iters) {
+  // SP: more, smaller messages; lighter per-cell work (scalar penta-
+  // diagonal systems).
+  return run_adi(world, n, iters, /*msgs_per_face=*/6,
+                 /*flops_per_cell=*/110, /*face_depth=*/5);
+}
+
+}  // namespace spam::apps

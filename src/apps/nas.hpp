@@ -1,0 +1,45 @@
+// Reduced-size NAS Parallel Benchmark kernels (Table 6) with faithful
+// communication skeletons:
+//   FT — 3D FFT: local FFTs plus a global transpose via MPI_Alltoall (the
+//        collective whose naive MPICH implementation the paper blames);
+//   MG — multigrid V-cycles: nearest-neighbour halo exchanges across a
+//        hierarchy of grids;
+//   LU — SSOR: pipelined wavefront sweeps with many small messages;
+//   BT/SP — ADI solvers on a square process grid: per-direction face
+//        exchanges (BT: fewer/larger messages; SP: more/smaller).
+//
+// All kernels update real arrays and return a checksum, so the MPI-AM and
+// MPI-F runs can be verified to compute identical results; computation is
+// charged to virtual time with the Power2 cost model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mpif/mpi_world.hpp"
+
+namespace spam::apps {
+
+struct NasResult {
+  double time_s = 0;       // max over ranks, timed region only
+  double checksum = 0;     // identical across MPI implementations
+  bool finished = false;
+};
+
+/// FT: `n`^3 complex grid, slab-distributed; `iters` evolve steps.
+NasResult run_ft(mpi::MpiWorld& world, int n, int iters);
+
+/// MG: `n`^3 grid, `iters` V-cycles down to a 4^3 coarse grid.
+NasResult run_mg(mpi::MpiWorld& world, int n, int iters);
+
+/// LU: `n`x`n` plane, `iters` pipelined SSOR sweep pairs.
+NasResult run_lu(mpi::MpiWorld& world, int n, int iters);
+
+/// BT: `n`^3 grid on a square process grid, `iters` ADI iterations
+/// (few, large face messages).
+NasResult run_bt(mpi::MpiWorld& world, int n, int iters);
+
+/// SP: like BT but with more, smaller messages per sweep.
+NasResult run_sp(mpi::MpiWorld& world, int n, int iters);
+
+}  // namespace spam::apps

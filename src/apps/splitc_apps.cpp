@@ -1,0 +1,464 @@
+#include "apps/splitc_apps.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace spam::apps {
+
+using splitc::gptr;
+using splitc::Runtime;
+using splitc::SplitCWorld;
+
+namespace {
+
+/// Gathers per-processor phase times into the paper's reporting form.
+PhaseTimes collect(const std::vector<sim::Time>& totals,
+                   const std::vector<sim::Time>& comms, bool valid,
+                   std::uint64_t checksum) {
+  PhaseTimes r;
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    r.total_s = std::max(r.total_s, sim::to_sec(totals[i]));
+    r.comm_s = std::max(r.comm_s, sim::to_sec(comms[i]));
+  }
+  r.cpu_s = r.total_s - r.comm_s;
+  r.valid = valid;
+  r.checksum = checksum;
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Blocked matrix multiply
+// ---------------------------------------------------------------------------
+
+PhaseTimes run_matmul(SplitCWorld& world, int nb, int bd) {
+  const int p = world.size();
+  const std::size_t bs = static_cast<std::size_t>(bd) * bd;
+  const int nblocks = nb * nb;
+  const int n = nb * bd;  // global matrix dimension
+  auto owner = [p](int bid) { return bid % p; };
+
+  // Block storage, globally visible (single address space); only the owner
+  // writes a block.  A(r,c) = (r%7)+1, B(r,c) = (c%5)+1 so that
+  // C(r,c) = ((r%7)+1) * ((c%5)+1) * n exactly, giving cheap verification.
+  std::vector<std::vector<std::vector<double>>> mat(
+      3, std::vector<std::vector<double>>(static_cast<std::size_t>(nblocks)));
+
+  std::vector<sim::Time> totals(static_cast<std::size_t>(p), 0);
+  std::vector<sim::Time> comms(static_cast<std::size_t>(p), 0);
+  bool valid = true;
+
+  world.run([&](Runtime& rt) {
+    const int me = rt.my_proc();
+    for (int bid = 0; bid < nblocks; ++bid) {
+      if (owner(bid) != me) continue;
+      const int bi = bid / nb, bj = bid % nb;
+      for (int m = 0; m < 3; ++m) {
+        mat[static_cast<std::size_t>(m)][static_cast<std::size_t>(bid)]
+            .assign(bs, 0.0);
+      }
+      auto& a = mat[0][static_cast<std::size_t>(bid)];
+      auto& b = mat[1][static_cast<std::size_t>(bid)];
+      for (int r = 0; r < bd; ++r) {
+        for (int c = 0; c < bd; ++c) {
+          const int gr = bi * bd + r, gc = bj * bd + c;
+          a[static_cast<std::size_t>(r) * bd + c] = (gr % 7) + 1.0;
+          b[static_cast<std::size_t>(r) * bd + c] = (gc % 5) + 1.0;
+        }
+      }
+    }
+    rt.barrier();
+    rt.reset_timers();
+    const sim::Time t0 = rt.ctx().now();
+
+    std::vector<double> abuf(bs), bbuf(bs);
+    for (int bi = 0; bi < nb; ++bi) {
+      for (int bj = 0; bj < nb; ++bj) {
+        const int cb = bi * nb + bj;
+        if (owner(cb) != me) continue;
+        double* cblk = mat[2][static_cast<std::size_t>(cb)].data();
+        for (int bk = 0; bk < nb; ++bk) {
+          const int ab = bi * nb + bk;
+          const int bb = bk * nb + bj;
+          const double* ap;
+          const double* bp;
+          if (owner(ab) == me) {
+            ap = mat[0][static_cast<std::size_t>(ab)].data();
+          } else {
+            rt.bulk_read(abuf.data(),
+                         gptr<double>{owner(ab),
+                                      mat[0][static_cast<std::size_t>(ab)].data()},
+                         bs);
+            ap = abuf.data();
+          }
+          if (owner(bb) == me) {
+            bp = mat[1][static_cast<std::size_t>(bb)].data();
+          } else {
+            rt.bulk_read(bbuf.data(),
+                         gptr<double>{owner(bb),
+                                      mat[1][static_cast<std::size_t>(bb)].data()},
+                         bs);
+            bp = bbuf.data();
+          }
+          // Real block multiply-accumulate; charged as 2*bd^3 flops.
+          for (int i = 0; i < bd; ++i) {
+            for (int k = 0; k < bd; ++k) {
+              const double aik = ap[static_cast<std::size_t>(i) * bd + k];
+              const double* brow = bp + static_cast<std::size_t>(k) * bd;
+              double* crow = cblk + static_cast<std::size_t>(i) * bd;
+              for (int j = 0; j < bd; ++j) crow[j] += aik * brow[j];
+            }
+          }
+          rt.charge_flops(2ull * bd * bd * bd);
+        }
+      }
+    }
+    rt.barrier();
+    totals[static_cast<std::size_t>(me)] = rt.ctx().now() - t0;
+    comms[static_cast<std::size_t>(me)] = rt.comm_time();
+  });
+
+  // Verify a sample of entries exactly.
+  for (int bid = 0; bid < nblocks && valid; bid += 3) {
+    const int bi = bid / nb, bj = bid % nb;
+    const auto& cblk = mat[2][static_cast<std::size_t>(bid)];
+    for (int r = 0; r < bd; r += std::max(1, bd / 4)) {
+      for (int c = 0; c < bd; c += std::max(1, bd / 4)) {
+        const int gr = bi * bd + r, gc = bj * bd + c;
+        const double want = ((gr % 7) + 1.0) * ((gc % 5) + 1.0) * n;
+        if (cblk[static_cast<std::size_t>(r) * bd + c] != want) valid = false;
+      }
+    }
+  }
+  return collect(totals, comms, valid, static_cast<std::uint64_t>(n));
+}
+
+// ---------------------------------------------------------------------------
+// Sample sort
+// ---------------------------------------------------------------------------
+
+PhaseTimes run_sample_sort(SplitCWorld& world, std::size_t n_total,
+                           SortVariant variant, std::uint64_t seed) {
+  const int p = world.size();
+  const std::size_t n_local = n_total / static_cast<std::size_t>(p);
+  assert(n_local * static_cast<std::size_t>(p) == n_total);
+  constexpr std::size_t kSample = 32;
+  // Per-(src,dst) inbox capacity with headroom for sampling skew.
+  const std::size_t cap = 3 * n_local / static_cast<std::size_t>(p) + 256;
+
+  std::vector<std::vector<std::uint32_t>> keys(static_cast<std::size_t>(p));
+  std::vector<std::vector<std::uint32_t>> inbox(static_cast<std::size_t>(p));
+  std::vector<std::vector<std::uint64_t>> counts(
+      static_cast<std::size_t>(p),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(p), 0));
+  std::vector<std::uint32_t> samples(kSample * static_cast<std::size_t>(p));
+  std::vector<std::uint32_t> splitters(static_cast<std::size_t>(p) - 1, 0);
+  std::vector<std::vector<std::uint32_t>> sorted(static_cast<std::size_t>(p));
+
+  std::vector<sim::Time> totals(static_cast<std::size_t>(p), 0);
+  std::vector<sim::Time> comms(static_cast<std::size_t>(p), 0);
+  std::uint64_t input_sum = 0;
+
+  world.run([&](Runtime& rt) {
+    const int me = rt.my_proc();
+    const auto mei = static_cast<std::size_t>(me);
+    sim::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(me));
+    keys[mei].resize(n_local);
+    for (auto& k : keys[mei]) {
+      k = static_cast<std::uint32_t>(rng.next_u64());
+    }
+    inbox[mei].assign(cap * static_cast<std::size_t>(p), 0);
+    rt.barrier();
+    rt.reset_timers();
+    const sim::Time t0 = rt.ctx().now();
+
+    // Phase 1: sampling.  Everyone stores its sample into processor 0.
+    std::vector<std::uint32_t> my_sample(kSample);
+    for (std::size_t i = 0; i < kSample; ++i) {
+      my_sample[i] = keys[mei][rng.next_below(n_local)];
+    }
+    rt.charge_int_ops(kSample * 4);
+    rt.store(gptr<std::uint32_t>{0, samples.data() + mei * kSample},
+             my_sample.data(), kSample);
+    rt.all_store_sync();
+    if (me == 0) {
+      std::sort(samples.begin(), samples.end());
+      rt.charge_int_ops(samples.size() * 16);
+      for (std::size_t i = 0; i + 1 < static_cast<std::size_t>(p); ++i) {
+        splitters[i] = samples[(i + 1) * kSample];
+      }
+    }
+    for (std::size_t i = 0; i + 1 < static_cast<std::size_t>(p); ++i) {
+      splitters[i] =
+          static_cast<std::uint32_t>(rt.bcast(me == 0 ? splitters[i] : 0, 0));
+    }
+
+    // Phase 2: key distribution.
+    std::vector<std::size_t> cnt(static_cast<std::size_t>(p), 0);
+    if (variant == SortVariant::kSmallMessage) {
+      // One scalar put per key — the fine-grain traffic that exposes
+      // per-message overhead.
+      for (const std::uint32_t k : keys[mei]) {
+        const auto dst = static_cast<std::size_t>(
+            std::upper_bound(splitters.begin(), splitters.end(), k) -
+            splitters.begin());
+        rt.charge_int_ops(8);
+        const std::size_t slot = mei * cap + cnt[dst]++;
+        assert(cnt[dst] <= cap && "inbox overflow: raise cap");
+        if (static_cast<int>(dst) == me) {
+          inbox[dst][slot] = k;
+          rt.charge_mem_bytes(4);
+        } else {
+          rt.put(gptr<std::uint32_t>{static_cast<int>(dst),
+                                     &inbox[dst][slot]},
+                 k);
+        }
+      }
+      rt.sync();
+    } else {
+      // Bulk variant: bucket locally, one store per destination.
+      std::vector<std::vector<std::uint32_t>> bucket(
+          static_cast<std::size_t>(p));
+      for (const std::uint32_t k : keys[mei]) {
+        const auto dst = static_cast<std::size_t>(
+            std::upper_bound(splitters.begin(), splitters.end(), k) -
+            splitters.begin());
+        rt.charge_int_ops(8);
+        bucket[dst].push_back(k);
+      }
+      for (int dst = 0; dst < p; ++dst) {
+        const auto d = static_cast<std::size_t>(dst);
+        cnt[d] = bucket[d].size();
+        assert(cnt[d] <= cap && "inbox overflow: raise cap");
+        if (bucket[d].empty()) continue;
+        if (dst == me) {
+          std::memcpy(inbox[d].data() + mei * cap, bucket[d].data(),
+                      bucket[d].size() * 4);
+          rt.charge_mem_bytes(bucket[d].size() * 4);
+        } else {
+          rt.store(gptr<std::uint32_t>{dst, inbox[d].data() + mei * cap},
+                   bucket[d].data(), bucket[d].size());
+        }
+      }
+    }
+    for (int dst = 0; dst < p; ++dst) {
+      rt.put(gptr<std::uint64_t>{dst, &counts[static_cast<std::size_t>(dst)][mei]},
+             static_cast<std::uint64_t>(cnt[static_cast<std::size_t>(dst)]));
+    }
+    rt.all_store_sync();
+
+    // Phase 3: local sort of everything received.
+    auto& out = sorted[mei];
+    for (int src = 0; src < p; ++src) {
+      const auto s = static_cast<std::size_t>(src);
+      out.insert(out.end(), inbox[mei].begin() + static_cast<std::ptrdiff_t>(s * cap),
+                 inbox[mei].begin() +
+                     static_cast<std::ptrdiff_t>(s * cap + counts[mei][s]));
+    }
+    std::sort(out.begin(), out.end());
+    rt.charge_int_ops(out.size() * 24);
+    rt.barrier();
+    totals[mei] = rt.ctx().now() - t0;
+    comms[mei] = rt.comm_time();
+  });
+
+  // Verification: per-processor sorted, boundaries ordered, multiset sum
+  // preserved, count preserved.
+  bool valid = true;
+  std::size_t total_out = 0;
+  std::uint64_t out_sum = 0;
+  std::uint32_t prev_max = 0;
+  for (int q = 0; q < p; ++q) {
+    const auto& v = sorted[static_cast<std::size_t>(q)];
+    if (!std::is_sorted(v.begin(), v.end())) valid = false;
+    if (!v.empty()) {
+      if (q > 0 && v.front() < prev_max) valid = false;
+      prev_max = v.back();
+    }
+    total_out += v.size();
+    for (std::uint32_t k : v) out_sum += k;
+  }
+  for (int q = 0; q < p; ++q) {
+    for (std::uint32_t k : keys[static_cast<std::size_t>(q)]) input_sum += k;
+  }
+  if (total_out != n_total || out_sum != input_sum) valid = false;
+  return collect(totals, comms, valid, out_sum);
+}
+
+// ---------------------------------------------------------------------------
+// Radix sort (LSD, 8-bit digits, exact global positions per pass)
+// ---------------------------------------------------------------------------
+
+PhaseTimes run_radix_sort(SplitCWorld& world, std::size_t n_total,
+                          SortVariant variant, std::uint64_t seed) {
+  constexpr int kDigitBits = 8;
+  constexpr int kRadix = 1 << kDigitBits;
+  constexpr int kPasses = 32 / kDigitBits;
+  const int p = world.size();
+  const std::size_t cap =
+      (n_total + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
+
+  auto seg_size = [&](int q) {
+    const std::size_t lo = static_cast<std::size_t>(q) * cap;
+    return lo >= n_total ? std::size_t{0} : std::min(cap, n_total - lo);
+  };
+
+  std::vector<std::vector<std::uint32_t>> cur(static_cast<std::size_t>(p));
+  std::vector<std::vector<std::uint32_t>> next(static_cast<std::size_t>(p));
+  // Histograms gathered at processor 0; start offsets pushed back out.
+  std::vector<std::uint64_t> hist_all(
+      static_cast<std::size_t>(kRadix) * static_cast<std::size_t>(p), 0);
+  std::vector<std::vector<std::uint64_t>> start(
+      static_cast<std::size_t>(p),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(kRadix), 0));
+  // Bulk variant staging: (global index, key) pairs per (dst, src).
+  struct IdxKey {
+    std::uint32_t idx;
+    std::uint32_t key;
+  };
+  std::vector<std::vector<IdxKey>> stage(static_cast<std::size_t>(p));
+  std::vector<std::vector<std::uint64_t>> stage_cnt(
+      static_cast<std::size_t>(p),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(p), 0));
+
+  std::vector<sim::Time> totals(static_cast<std::size_t>(p), 0);
+  std::vector<sim::Time> comms(static_cast<std::size_t>(p), 0);
+  std::uint64_t input_sum = 0;
+
+  world.run([&](Runtime& rt) {
+    const int me = rt.my_proc();
+    const auto mei = static_cast<std::size_t>(me);
+    sim::Rng rng(seed * 7919 + static_cast<std::uint64_t>(me));
+    cur[mei].resize(seg_size(me));
+    for (auto& k : cur[mei]) k = static_cast<std::uint32_t>(rng.next_u64());
+    next[mei].assign(cap, 0);
+    if (variant == SortVariant::kBulk) {
+      stage[mei].assign(cap * static_cast<std::size_t>(p), IdxKey{0, 0});
+    }
+    rt.barrier();
+    rt.reset_timers();
+    const sim::Time t0 = rt.ctx().now();
+
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const int shift = pass * kDigitBits;
+      // 1. Local histogram.
+      std::vector<std::uint64_t> h(static_cast<std::size_t>(kRadix), 0);
+      for (const std::uint32_t k : cur[mei]) {
+        ++h[(k >> shift) & (kRadix - 1)];
+      }
+      rt.charge_int_ops(cur[mei].size() * 3);
+
+      // 2. Gather histograms at 0, compute exact start offsets, push back.
+      rt.store(gptr<std::uint64_t>{0, hist_all.data() + mei * kRadix},
+               h.data(), static_cast<std::size_t>(kRadix));
+      rt.all_store_sync();
+      if (me == 0) {
+        std::uint64_t run = 0;
+        for (int d = 0; d < kRadix; ++d) {
+          for (int q = 0; q < p; ++q) {
+            start[static_cast<std::size_t>(q)][static_cast<std::size_t>(d)] =
+                run;
+            run += hist_all[static_cast<std::size_t>(q) * kRadix +
+                            static_cast<std::size_t>(d)];
+          }
+        }
+        rt.charge_int_ops(static_cast<std::uint64_t>(kRadix) * p * 2);
+        for (int q = 1; q < p; ++q) {
+          rt.store(gptr<std::uint64_t>{q, start[static_cast<std::size_t>(q)].data()},
+                   start[static_cast<std::size_t>(q)].data(),
+                   static_cast<std::size_t>(kRadix));
+        }
+      }
+      rt.all_store_sync();
+
+      // 3. Route every key to its exact global position.
+      std::vector<std::uint64_t> ofs = start[mei];
+      if (variant == SortVariant::kSmallMessage) {
+        for (const std::uint32_t k : cur[mei]) {
+          const std::uint64_t g = ofs[(k >> shift) & (kRadix - 1)]++;
+          const int dst = static_cast<int>(g / cap);
+          const std::size_t idx = g % cap;
+          rt.charge_int_ops(6);
+          if (dst == me) {
+            next[mei][idx] = k;
+            rt.charge_mem_bytes(4);
+          } else {
+            rt.put(gptr<std::uint32_t>{dst, &next[static_cast<std::size_t>(dst)][idx]},
+                   k);
+          }
+        }
+        rt.sync();
+        rt.barrier();
+      } else {
+        std::vector<std::vector<IdxKey>> bucket(static_cast<std::size_t>(p));
+        for (const std::uint32_t k : cur[mei]) {
+          const std::uint64_t g = ofs[(k >> shift) & (kRadix - 1)]++;
+          const int dst = static_cast<int>(g / cap);
+          rt.charge_int_ops(6);
+          bucket[static_cast<std::size_t>(dst)].push_back(
+              IdxKey{static_cast<std::uint32_t>(g % cap), k});
+        }
+        for (int dst = 0; dst < p; ++dst) {
+          const auto d = static_cast<std::size_t>(dst);
+          rt.put(gptr<std::uint64_t>{dst, &stage_cnt[d][mei]},
+                 static_cast<std::uint64_t>(bucket[d].size()));
+          if (bucket[d].empty()) continue;
+          if (dst == me) {
+            std::memcpy(stage[d].data() + mei * cap, bucket[d].data(),
+                        bucket[d].size() * sizeof(IdxKey));
+            rt.charge_mem_bytes(bucket[d].size() * sizeof(IdxKey));
+          } else {
+            rt.store(gptr<IdxKey>{dst, stage[d].data() + mei * cap},
+                     bucket[d].data(), bucket[d].size());
+          }
+        }
+        rt.all_store_sync();
+        // Scatter staged pairs into place.
+        for (int src = 0; src < p; ++src) {
+          const auto s = static_cast<std::size_t>(src);
+          const std::uint64_t c = stage_cnt[mei][s];
+          for (std::uint64_t i = 0; i < c; ++i) {
+            const IdxKey ik = stage[mei][s * cap + i];
+            next[mei][ik.idx] = ik.key;
+          }
+          rt.charge_mem_bytes(c * sizeof(IdxKey));
+        }
+        rt.barrier();
+      }
+
+      // 4. Swap; segment sizes are exact by construction.
+      cur[mei].assign(next[mei].begin(),
+                      next[mei].begin() + static_cast<std::ptrdiff_t>(seg_size(me)));
+      rt.charge_mem_bytes(cur[mei].size() * 4);
+      rt.barrier();
+    }
+    totals[mei] = rt.ctx().now() - t0;
+    comms[mei] = rt.comm_time();
+  });
+
+  bool valid = true;
+  std::uint64_t out_sum = 0;
+  std::size_t total_out = 0;
+  std::uint32_t prev = 0;
+  for (int q = 0; q < p; ++q) {
+    for (const std::uint32_t k : cur[static_cast<std::size_t>(q)]) {
+      if (k < prev) valid = false;
+      prev = k;
+      out_sum += k;
+      ++total_out;
+    }
+  }
+  // Recompute the input multiset sum from the seeds.
+  for (int q = 0; q < p; ++q) {
+    sim::Rng rng(seed * 7919 + static_cast<std::uint64_t>(q));
+    for (std::size_t i = 0; i < seg_size(q); ++i) {
+      input_sum += static_cast<std::uint32_t>(rng.next_u64());
+    }
+  }
+  if (total_out != n_total || out_sum != input_sum) valid = false;
+  return collect(totals, comms, valid, out_sum);
+}
+
+}  // namespace spam::apps

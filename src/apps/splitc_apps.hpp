@@ -1,0 +1,43 @@
+// The paper's Split-C application benchmarks (Table 5 / Figure 4):
+//   * blocked matrix multiply (two blockings: few large blocks / many small
+//     blocks);
+//   * sample sort, in a small-message variant (one put per key) and a bulk
+//     variant (one store per destination);
+//   * radix sort, small-message and bulk variants.
+//
+// All kernels do the real computation (results are verified) while charging
+// virtual CPU time through the Split-C cost model, and report the paper's
+// instrumentation: total time, communication-phase time, computation time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "splitc/splitc_world.hpp"
+
+namespace spam::apps {
+
+struct PhaseTimes {
+  double total_s = 0;  // max over processors
+  double comm_s = 0;   // max over processors of time inside runtime calls
+  double cpu_s = 0;    // total - comm
+  bool valid = false;  // result verification
+  std::uint64_t checksum = 0;
+};
+
+/// Blocked matrix multiply: C = A*B with nb x nb blocks of bd x bd doubles,
+/// blocks distributed round-robin.  Paper runs: nb=4, bd=128 and nb=16,
+/// bd=16, on 8 processors.
+PhaseTimes run_matmul(splitc::SplitCWorld& world, int nb, int bd);
+
+enum class SortVariant { kSmallMessage, kBulk };
+
+/// Sample sort over `n_total` uniformly random 32-bit keys.
+PhaseTimes run_sample_sort(splitc::SplitCWorld& world, std::size_t n_total,
+                           SortVariant variant, std::uint64_t seed = 42);
+
+/// LSD radix sort, 8-bit digits, over `n_total` random 32-bit keys.
+PhaseTimes run_radix_sort(splitc::SplitCWorld& world, std::size_t n_total,
+                          SortVariant variant, std::uint64_t seed = 42);
+
+}  // namespace spam::apps

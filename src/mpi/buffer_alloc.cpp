@@ -1,0 +1,94 @@
+#include "mpi/buffer_alloc.hpp"
+
+#include <cassert>
+
+namespace spam::mpi {
+
+BufferAllocator::BufferAllocator(std::size_t region_bytes, bool binned,
+                                 std::size_t bin_bytes, int nbins)
+    : binned_(binned),
+      bin_bytes_(bin_bytes),
+      nbins_(binned ? nbins : 0),
+      bin_area_(binned ? bin_bytes * static_cast<std::size_t>(nbins) : 0) {
+  region_ = region_bytes + bin_area_;
+  bin_used_.assign(static_cast<std::size_t>(nbins_), false);
+  holes_.push_back({bin_area_, region_bytes});
+}
+
+std::size_t BufferAllocator::alloc(std::size_t len) {
+  if (binned_ && len <= bin_bytes_) {
+    for (int i = 0; i < nbins_; ++i) {
+      if (!bin_used_[static_cast<std::size_t>(i)]) {
+        bin_used_[static_cast<std::size_t>(i)] = true;
+        ++stats_.bin_allocs;
+        in_use_ += bin_bytes_;
+        return static_cast<std::size_t>(i) * bin_bytes_;
+      }
+    }
+    // All bins busy: fall through to first-fit.
+  }
+  return alloc_fit(len);
+}
+
+std::size_t BufferAllocator::alloc_fit(std::size_t len) {
+  for (auto it = holes_.begin(); it != holes_.end(); ++it) {
+    ++stats_.fit_search_steps;
+    if (it->len >= len) {
+      const std::size_t off = it->off;
+      it->off += len;
+      it->len -= len;
+      if (it->len == 0) holes_.erase(it);
+      ++stats_.fit_allocs;
+      in_use_ += len;
+      return off;
+    }
+  }
+  ++stats_.failures;
+  return kFail;
+}
+
+void BufferAllocator::free(std::size_t offset, std::size_t len) {
+  if (binned_ && offset < bin_area_) {
+    const std::size_t bin = offset / bin_bytes_;
+    assert(offset % bin_bytes_ == 0);
+    assert(bin_used_[bin]);
+    bin_used_[bin] = false;
+    in_use_ -= bin_bytes_;
+    return;
+  }
+  free_fit(offset, len);
+}
+
+void BufferAllocator::free_fit(std::size_t offset, std::size_t len) {
+  assert(len > 0);
+  in_use_ -= len;
+  // Insert sorted by offset, coalescing with neighbours.
+  auto it = holes_.begin();
+  while (it != holes_.end() && it->off < offset) ++it;
+  // Coalesce with predecessor.
+  if (it != holes_.begin()) {
+    auto prev = std::prev(it);
+    assert(prev->off + prev->len <= offset && "double free / overlap");
+    if (prev->off + prev->len == offset) {
+      prev->len += len;
+      // Maybe also merges with successor.
+      if (it != holes_.end() && prev->off + prev->len == it->off) {
+        prev->len += it->len;
+        holes_.erase(it);
+      }
+      return;
+    }
+  }
+  // Coalesce with successor.
+  if (it != holes_.end()) {
+    assert(offset + len <= it->off && "double free / overlap");
+    if (offset + len == it->off) {
+      it->off = offset;
+      it->len += len;
+      return;
+    }
+  }
+  holes_.insert(it, {offset, len});
+}
+
+}  // namespace spam::mpi

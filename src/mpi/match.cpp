@@ -1,0 +1,29 @@
+#include "mpi/match.hpp"
+
+namespace spam::mpi {
+
+std::optional<InMsg> MatchEngine::post(const PostedRecv& r) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (matches(r, *it)) {
+      InMsg m = *it;
+      unexpected_.erase(it);
+      return m;
+    }
+  }
+  posted_.push_back(r);
+  return std::nullopt;
+}
+
+std::optional<PostedRecv> MatchEngine::arrive(const InMsg& m) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (matches(*it, m)) {
+      PostedRecv r = *it;
+      posted_.erase(it);
+      return r;
+    }
+  }
+  unexpected_.push_back(m);
+  return std::nullopt;
+}
+
+}  // namespace spam::mpi

@@ -1,0 +1,48 @@
+#include "mpi/types.hpp"
+
+#include <algorithm>
+
+namespace spam::mpi {
+
+namespace {
+
+template <typename T>
+void apply_typed(T* acc, const T* in, std::size_t n, ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = acc[i] + in[i];
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = std::max(acc[i], in[i]);
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = std::min(acc[i], in[i]);
+      break;
+  }
+}
+
+}  // namespace
+
+void reduce_apply(void* acc, const void* in, std::size_t count, Dtype t,
+                  ReduceOp op) {
+  switch (t) {
+    case Dtype::kByte:
+      apply_typed(static_cast<std::uint8_t*>(acc),
+                  static_cast<const std::uint8_t*>(in), count, op);
+      break;
+    case Dtype::kInt32:
+      apply_typed(static_cast<std::int32_t*>(acc),
+                  static_cast<const std::int32_t*>(in), count, op);
+      break;
+    case Dtype::kInt64:
+      apply_typed(static_cast<std::int64_t*>(acc),
+                  static_cast<const std::int64_t*>(in), count, op);
+      break;
+    case Dtype::kDouble:
+      apply_typed(static_cast<double*>(acc), static_cast<const double*>(in),
+                  count, op);
+      break;
+  }
+}
+
+}  // namespace spam::mpi

@@ -1,0 +1,38 @@
+// Shared MPI types for the mini-MPICH (over SP AM) and MPI-F (baseline)
+// implementations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spam::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Minimal datatype support: enough for the NAS kernels and benches.
+enum class Dtype { kByte, kInt32, kInt64, kDouble };
+
+constexpr std::size_t dtype_size(Dtype t) {
+  switch (t) {
+    case Dtype::kByte: return 1;
+    case Dtype::kInt32: return 4;
+    case Dtype::kInt64: return 8;
+    case Dtype::kDouble: return 8;
+  }
+  return 1;
+}
+
+enum class ReduceOp { kSum, kMax, kMin };
+
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// Applies `op` elementwise: acc[i] = acc[i] op in[i].
+void reduce_apply(void* acc, const void* in, std::size_t count, Dtype t,
+                  ReduceOp op);
+
+}  // namespace spam::mpi

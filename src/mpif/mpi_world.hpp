@@ -1,0 +1,76 @@
+// Turn-key MPI world over the simulated SP: picks the implementation
+// (optimized MPI-AM, unoptimized MPI-AM, or the MPI-F baseline) and runs a
+// program on every node.  Used by tests, examples, the NAS kernels and the
+// figure benches.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "am/net.hpp"
+#include "mpi/am_device.hpp"
+#include "mpif/mpif.hpp"
+#include "sphw/machine.hpp"
+
+namespace spam::mpi {
+
+enum class MpiImpl { kAmOptimized, kAmUnoptimized, kMpiF };
+
+struct MpiWorldConfig {
+  int nodes = 4;
+  MpiImpl impl = MpiImpl::kAmOptimized;
+  std::uint64_t seed = 1;
+  sphw::SpParams hw = sphw::SpParams::thin_node();
+  am::AmParams am;
+  MpiAmConfig am_cfg = MpiAmConfig::opt();
+  mpif::MpiFConfig f_cfg = mpif::MpiFConfig::thin();
+};
+
+class MpiWorld {
+ public:
+  explicit MpiWorld(MpiWorldConfig cfg)
+      : cfg_(cfg), world_(cfg.nodes, cfg.seed), machine_(world_, cfg.hw) {
+    switch (cfg_.impl) {
+      case MpiImpl::kAmOptimized:
+        amnet_ = std::make_unique<am::AmNet>(machine_, cfg_.am);
+        amdev_ = std::make_unique<MpiAmNet>(*amnet_, cfg_.am_cfg);
+        break;
+      case MpiImpl::kAmUnoptimized:
+        amnet_ = std::make_unique<am::AmNet>(machine_, cfg_.am);
+        amdev_ = std::make_unique<MpiAmNet>(*amnet_, MpiAmConfig::unopt());
+        break;
+      case MpiImpl::kMpiF:
+        fnet_ = std::make_unique<mpif::MpiFNet>(machine_, cfg_.f_cfg);
+        break;
+    }
+  }
+
+  Mpi& mpi(int node) {
+    if (amdev_) return amdev_->mpi(node);
+    return fnet_->mpi(node);
+  }
+  sim::World& world() { return world_; }
+  sphw::SpMachine& machine() { return machine_; }
+  int size() const { return cfg_.nodes; }
+
+  /// Spawns `program` on every node and runs to completion.
+  void run(std::function<void(Mpi&)> program) {
+    for (int n = 0; n < cfg_.nodes; ++n) {
+      world_.spawn(n, [this, n, program](sim::NodeCtx&) {
+        program(mpi(n));
+      });
+    }
+    world_.run();
+  }
+
+ private:
+  MpiWorldConfig cfg_;
+  sim::World world_;
+  sphw::SpMachine machine_;
+  std::unique_ptr<am::AmNet> amnet_;
+  std::unique_ptr<MpiAmNet> amdev_;
+  std::unique_ptr<mpif::MpiFNet> fnet_;
+};
+
+}  // namespace spam::mpi

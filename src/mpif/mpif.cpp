@@ -1,0 +1,175 @@
+#include "mpif/mpif.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace spam::mpif {
+
+MpiF::MpiF(sim::NodeCtx& ctx, mpl::MplEndpoint& ep, MpiFConfig cfg,
+           int world_size)
+    : Mpi(ctx), ep_(ep), cfg_(cfg), world_size_(world_size) {
+  svc_buf_.resize(sizeof(FEnv) + cfg_.eager_max);
+  repost_service();
+}
+
+void MpiF::repost_service() {
+  svc_handle_ =
+      ep_.mpc_recv(svc_buf_.data(), svc_buf_.size(), mpl::kAnySource, kSvcTag);
+}
+
+void MpiF::send_env(int dst, const FEnv& env, const void* payload,
+                    std::size_t payload_len) {
+  std::vector<std::byte> msg(sizeof(FEnv) + payload_len);
+  std::memcpy(msg.data(), &env, sizeof(FEnv));
+  if (payload_len > 0) {
+    std::memcpy(msg.data() + sizeof(FEnv), payload, payload_len);
+  }
+  ep_.mpc_wait(ep_.mpc_send(msg.data(), msg.size(), dst, kSvcTag));
+}
+
+int MpiF::isend(const void* buf, std::size_t bytes, int dst, int tag) {
+  ctx_.elapse(sim::usec(cfg_.sw_send_us));
+  const int req_id = alloc_req(/*is_recv=*/false);
+  if (bytes <= cfg_.eager_max) {
+    FEnv env;
+    env.tag = tag;
+    env.kind = kEager;
+    env.len = bytes;
+    env.recv_id = static_cast<std::uint32_t>(rank());  // source marker
+    send_env(dst, env, buf, bytes);
+    ++dev_stats_.eager_sends;
+    complete_req(req_id);  // payload snapshotted by the transport
+    return req_id;
+  }
+  const std::uint32_t op_id = next_op_id_++;
+  send_ops_.emplace(op_id,
+                    SendOp{req_id, dst, static_cast<const std::byte*>(buf),
+                           bytes});
+  FEnv env;
+  env.tag = tag;
+  env.kind = kRdv;
+  env.len = bytes;
+  env.op_id = op_id;
+  env.recv_id = static_cast<std::uint32_t>(rank());  // source marker
+  send_env(dst, env, nullptr, 0);
+  ++dev_stats_.rdv_sends;
+  return req_id;
+}
+
+int MpiF::irecv(void* buf, std::size_t bytes, int src, int tag) {
+  ctx_.elapse(sim::usec(cfg_.sw_recv_us));
+  const int req_id = alloc_req(/*is_recv=*/true);
+  mpi::PostedRecv r;
+  r.req_id = req_id;
+  r.src = src;
+  r.tag = tag;
+  r.buf = buf;
+  r.cap = bytes;
+  if (auto m = match_.post(r)) deliver_matched(r, *m);
+  return req_id;
+}
+
+void MpiF::deliver_matched(const mpi::PostedRecv& r, const mpi::InMsg& m) {
+  if (m.kind == kEager) {
+    const std::size_t n = std::min(r.cap, m.len);
+    if (n > 0) std::memcpy(r.buf, m.data, n);
+    complete_req(r.req_id, mpi::Status{m.src, m.tag, n});
+    stash_.erase(m.cookie >> 32);  // drop the stashed payload, if any
+    return;
+  }
+  assert(m.kind == kRdv);
+  // Post the data receive into the user buffer, then clear the sender to
+  // send (the post-before-CTS order guarantees the data recv is waiting).
+  const std::uint32_t recv_id = next_recv_id_++;
+  const int data_tag = kDataTagBase + static_cast<int>(recv_id % 9973);
+  const int handle = ep_.mpc_recv(r.buf, r.cap, m.src, data_tag);
+  recv_recs_.emplace(recv_id, RecvRec{r.req_id, handle,
+                                      mpi::Status{m.src, m.tag, m.len}});
+  FEnv cts;
+  cts.kind = kCts;
+  cts.op_id = static_cast<std::uint32_t>(m.cookie);
+  cts.recv_id = recv_id;
+  send_env(m.src, cts, nullptr, 0);
+}
+
+void MpiF::process_service(const std::byte* buf, std::size_t len) {
+  FEnv env;
+  std::memcpy(&env, buf, sizeof(FEnv));
+  // The service receive uses kAnySource, so eager/rdv envelopes carry the
+  // sender's rank in the (otherwise unused) recv_id field.
+  switch (env.kind) {
+    case kEager: {
+      const int src = static_cast<int>(env.recv_id);
+      mpi::InMsg m;
+      m.src = src;
+      m.tag = env.tag;
+      m.len = env.len;
+      m.kind = kEager;
+      // Stash the payload so it survives until matched.
+      const std::uint64_t stash_id = next_stash_++;
+      auto& slot = stash_[stash_id];
+      slot.assign(buf + sizeof(FEnv), buf + len);
+      m.data = slot.data();
+      m.data_len = slot.size();
+      m.cookie = stash_id << 32;
+      if (auto r = match_.arrive(m)) deliver_matched(*r, m);
+      break;
+    }
+    case kRdv: {
+      mpi::InMsg m;
+      m.src = static_cast<int>(env.recv_id);
+      m.tag = env.tag;
+      m.len = env.len;
+      m.kind = kRdv;
+      m.cookie = env.op_id;
+      if (auto r = match_.arrive(m)) deliver_matched(*r, m);
+      break;
+    }
+    case kCts: {
+      auto it = send_ops_.find(env.op_id);
+      assert(it != send_ops_.end());
+      const SendOp op = it->second;
+      send_ops_.erase(it);
+      const int data_tag =
+          kDataTagBase + static_cast<int>(env.recv_id % 9973);
+      ep_.mpc_wait(ep_.mpc_send(op.src, op.len, op.dst, data_tag));
+      complete_req(op.req_id);  // snapshotted by the transport
+      break;
+    }
+    default:
+      assert(false);
+  }
+}
+
+void MpiF::progress() {
+  ep_.poll();
+  std::size_t bytes = 0;
+  while (ep_.mpc_test(svc_handle_, &bytes)) {
+    std::vector<std::byte> msg(
+        svc_buf_.begin(), svc_buf_.begin() + static_cast<std::ptrdiff_t>(bytes));
+    repost_service();
+    process_service(msg.data(), msg.size());
+  }
+  // Complete any rendez-vous data receives that have landed.
+  for (auto it = recv_recs_.begin(); it != recv_recs_.end();) {
+    std::size_t got = 0;
+    if (ep_.mpc_test(it->second.mpl_handle, &got)) {
+      complete_req(it->second.req_id, it->second.status);
+      it = recv_recs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+MpiFNet::MpiFNet(sphw::SpMachine& machine, MpiFConfig cfg) {
+  mplnet_ = std::make_unique<mpl::MplNet>(machine, cfg.transport);
+  devices_.reserve(static_cast<std::size_t>(machine.size()));
+  for (int n = 0; n < machine.size(); ++n) {
+    devices_.push_back(std::make_unique<MpiF>(machine.world().node(n),
+                                              mplnet_->ep(n), cfg,
+                                              machine.size()));
+  }
+}
+
+}  // namespace spam::mpif

@@ -1,0 +1,137 @@
+// MPI-F baseline: a model of IBM's from-scratch MPI for the SP.
+//
+// MPI-F did not sit on top of user-visible MPL calls — it shared MPL's
+// tuned low-level path — so this device runs over an MplEndpoint built
+// with a lighter parameter set than the public mpc_* interface.  Protocols:
+// eager for messages up to 4 KB, rendez-vous (announce, clear-to-send,
+// direct data) above.  The hard switch at 4 KB produces the bandwidth
+// discontinuity the paper observes (5 KB messages slower than 4 KB ones),
+// which MPI-AM's hybrid protocol avoids.  Collectives are vendor-tuned
+// (staggered alltoall).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mpi/match.hpp"
+#include "mpi/mpi.hpp"
+#include "mpl/mpl.hpp"
+#include "sphw/machine.hpp"
+
+namespace spam::mpif {
+
+struct MpiFConfig {
+  /// Messages up to this size travel eagerly; larger ones rendez-vous.
+  std::size_t eager_max = 4 * 1024;
+  /// Per-message MPI-layer software cost on top of the transport.
+  double sw_send_us = 3.0;
+  double sw_recv_us = 3.0;
+  /// MPI-F's tuned low-level path (cheaper than public mpc_* calls).
+  mpl::MplParams transport;
+  bool tuned_collectives = true;
+
+  /// Thin-node configuration: MPI-F was tuned on wide nodes, so the thin
+  /// path carries a little extra software cost.
+  static MpiFConfig thin() {
+    MpiFConfig c;
+    c.transport.send_sw_us = 6.0;
+    c.transport.recv_sw_us = 4.0;
+    return c;
+  }
+  /// Wide-node configuration: the tuned target.
+  static MpiFConfig wide() {
+    MpiFConfig c;
+    c.sw_send_us = 2.0;
+    c.sw_recv_us = 2.0;
+    c.transport.send_sw_us = 4.0;
+    c.transport.recv_sw_us = 2.5;
+    return c;
+  }
+};
+
+class MpiF final : public mpi::Mpi {
+ public:
+  MpiF(sim::NodeCtx& ctx, mpl::MplEndpoint& ep, MpiFConfig cfg,
+       int world_size);
+
+  int rank() const override { return ep_.rank(); }
+  int size() const override { return world_size_; }
+  int isend(const void* buf, std::size_t bytes, int dst, int tag) override;
+  int irecv(void* buf, std::size_t bytes, int src, int tag) override;
+  void progress() override;
+
+  struct DevStats {
+    std::uint64_t eager_sends = 0;
+    std::uint64_t rdv_sends = 0;
+  };
+  const DevStats& dev_stats() const { return dev_stats_; }
+
+ protected:
+  bool tuned_collectives() const override { return cfg_.tuned_collectives; }
+
+ private:
+  enum : std::uint32_t { kEager = 1, kRdv = 2, kCts = 3 };
+  struct FEnv {
+    std::int32_t tag = 0;
+    std::uint32_t kind = 0;
+    std::uint64_t len = 0;
+    std::uint32_t op_id = 0;
+    std::uint32_t recv_id = 0;
+  };
+  static constexpr int kSvcTag = 770001;
+  static constexpr int kDataTagBase = 780000;
+
+  struct SendOp {
+    int req_id;
+    int dst;
+    const std::byte* src;
+    std::size_t len;
+  };
+  struct RecvRec {
+    int req_id;
+    int mpl_handle;  // data receive in flight
+    mpi::Status status;
+  };
+
+  void repost_service();
+  void send_env(int dst, const FEnv& env, const void* payload,
+                std::size_t payload_len);
+  void process_service(const std::byte* buf, std::size_t len);
+  void deliver_matched(const mpi::PostedRecv& r, const mpi::InMsg& m);
+
+  mpl::MplEndpoint& ep_;
+  MpiFConfig cfg_;
+  int world_size_;
+
+  int svc_handle_ = -1;
+  std::vector<std::byte> svc_buf_;
+  mpi::MatchEngine match_;
+  std::unordered_map<std::uint32_t, SendOp> send_ops_;
+  std::uint32_t next_op_id_ = 1;
+  std::unordered_map<std::uint32_t, RecvRec> recv_recs_;
+  std::uint32_t next_recv_id_ = 1;
+  /// Unexpected eager payloads live here until matched.
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> stash_;
+  std::uint64_t next_stash_ = 1;
+
+  DevStats dev_stats_;
+};
+
+/// One MPI-F device per node: builds its own tuned MPL transport over the
+/// machine's adapters.
+class MpiFNet {
+ public:
+  explicit MpiFNet(sphw::SpMachine& machine,
+                   MpiFConfig cfg = MpiFConfig::thin());
+  MpiF& mpi(int node) { return *devices_.at(node); }
+  int size() const { return static_cast<int>(devices_.size()); }
+
+ private:
+  std::unique_ptr<mpl::MplNet> mplnet_;
+  std::vector<std::unique_ptr<MpiF>> devices_;
+};
+
+}  // namespace spam::mpif

@@ -1,0 +1,80 @@
+#include "report/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spam::report {
+
+void Table::print(std::FILE* out) const {
+  // Column widths.
+  std::vector<std::size_t> w;
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (w.size() < row.size()) w.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      w[i] = std::max(w[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::fprintf(out, "\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      std::fprintf(out, "%c %-*s", i == 0 ? '|' : '|',
+                   static_cast<int>(w[i]), cell.c_str());
+    }
+    std::fprintf(out, " |\n");
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 1;
+    for (std::size_t cw : w) total += cw + 3;
+    std::string rule(total, '-');
+    std::fprintf(out, "%s\n", rule.c_str());
+  }
+  for (const auto& r : rows_) print_row(r);
+}
+
+double r_infinity(const std::vector<BwPoint>& curve) {
+  if (curve.empty()) return 0;
+  std::vector<double> rates;
+  rates.reserve(curve.size());
+  for (const auto& pt : curve) rates.push_back(pt.mbps);
+  std::sort(rates.begin(), rates.end());
+  const std::size_t k = std::max<std::size_t>(1, rates.size() / 5);
+  double sum = 0;
+  for (std::size_t i = rates.size() - k; i < rates.size(); ++i) {
+    sum += rates[i];
+  }
+  return sum / static_cast<double>(k);
+}
+
+double n_half(const std::vector<BwPoint>& curve) {
+  const double target = r_infinity(curve) / 2.0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (curve[i].mbps >= target) {
+      if (i == 0) return static_cast<double>(curve[0].bytes);
+      // Log-linear interpolation between the bracketing points.
+      const double x0 = std::log2(static_cast<double>(curve[i - 1].bytes));
+      const double x1 = std::log2(static_cast<double>(curve[i].bytes));
+      const double y0 = curve[i - 1].mbps;
+      const double y1 = curve[i].mbps;
+      const double t = (target - y0) / (y1 - y0);
+      return std::exp2(x0 + t * (x1 - x0));
+    }
+  }
+  return static_cast<double>(curve.empty() ? 0 : curve.back().bytes);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_us(double us) { return fmt(us, 1) + " us"; }
+std::string fmt_mbps(double mbps) { return fmt(mbps, 1) + " MB/s"; }
+std::string fmt_bytes(double bytes) { return fmt(bytes, 0) + " B"; }
+
+}  // namespace spam::report

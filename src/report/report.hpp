@@ -1,0 +1,64 @@
+// Reporting helpers shared by the benchmark binaries: fixed-width tables,
+// paper-vs-measured comparison rows, and bandwidth-curve analysis
+// (asymptotic rate r-infinity and half-power point n-1/2).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace spam::report {
+
+/// Fixed-width console table.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+  void set_header(std::vector<std::string> cols) { header_ = std::move(cols); }
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Accumulates "paper vs measured" rows and prints a comparison table.
+class PaperComparison {
+ public:
+  explicit PaperComparison(std::string title) : table_(std::move(title)) {
+    table_.set_header({"metric", "paper", "measured", "note"});
+  }
+  void add(const std::string& metric, const std::string& paper,
+           const std::string& measured, const std::string& note = "") {
+    table_.add_row({metric, paper, measured, note});
+  }
+  void print(std::FILE* out = stdout) const { table_.print(out); }
+
+ private:
+  Table table_;
+};
+
+/// One point of a bandwidth curve.
+struct BwPoint {
+  std::size_t bytes;
+  double mbps;
+};
+
+/// Asymptotic bandwidth: the mean of the top points (robust against noise
+/// at the tail of the sweep).
+double r_infinity(const std::vector<BwPoint>& curve);
+
+/// Half-power point: the (log-interpolated) message size at which the curve
+/// first reaches half of r-infinity.
+double n_half(const std::vector<BwPoint>& curve);
+
+std::string fmt(double v, int precision = 1);
+std::string fmt_us(double us);
+std::string fmt_mbps(double mbps);
+std::string fmt_bytes(double bytes);
+
+}  // namespace spam::report

@@ -1,0 +1,39 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace spam::sim {
+
+void Engine::at(Time t, Action fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the handle cheaply by swapping through a local.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Engine::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+std::uint64_t Engine::run_until(Time deadline) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty() && queue_.top().t <= deadline && step()) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace spam::sim

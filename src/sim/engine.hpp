@@ -1,0 +1,71 @@
+// Discrete-event engine: a single virtual clock and an ordered event queue.
+//
+// Events scheduled for the same instant fire in FIFO order of scheduling,
+// which makes every run deterministic.  The engine is single-threaded by
+// design; concurrency in the simulated system is expressed as interleaved
+// events, never as host threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace spam::sim {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (clamped to now()).
+  void at(Time t, Action fn);
+
+  /// Schedules `fn` to run `delay` ticks from now.
+  void after(Time delay, Action fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Runs events until the queue drains or stop() is called.
+  /// Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Runs until the clock would pass `deadline`; events at exactly
+  /// `deadline` still execute.  Returns events executed.
+  std::uint64_t run_until(Time deadline);
+
+  /// Executes the single earliest event.  Returns false if queue empty.
+  bool step();
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace spam::sim

@@ -1,0 +1,79 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <utility>
+
+namespace spam::sim {
+namespace {
+
+thread_local Fiber* g_current = nullptr;
+
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes,
+             std::string name)
+    : body_(std::move(body)),
+      stack_(new char[stack_bytes]),
+      stack_bytes_(stack_bytes),
+      name_(std::move(name)) {}
+
+Fiber::~Fiber() {
+  // Destroying a suspended fiber abandons its stack.  That is deliberate:
+  // teardown after a detected deadlock or a run_until() timeout must not
+  // require unwinding parked programs.
+}
+
+Fiber* Fiber::current() { return g_current; }
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  self->run_body();
+  // Returning from the body: mark finished and fall back to the caller
+  // context captured in the last resume().
+  self->state_ = State::kFinished;
+  g_current = nullptr;
+  swapcontext(&self->ctx_, &self->caller_);
+  // Unreachable: a finished fiber is never resumed.
+  std::abort();
+}
+
+void Fiber::run_body() { body_(); }
+
+void Fiber::resume() {
+  assert(g_current == nullptr && "resume() must be called from main context");
+  assert(state_ != State::kFinished && "cannot resume a finished fiber");
+  assert(state_ != State::kRunning);
+
+  if (state_ == State::kCreated) {
+    getcontext(&ctx_);
+    ctx_.uc_stack.ss_sp = stack_.get();
+    ctx_.uc_stack.ss_size = stack_bytes_;
+    ctx_.uc_link = &caller_;
+    const auto p = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(p >> 32),
+                static_cast<unsigned>(p & 0xffffffffu));
+  }
+  state_ = State::kRunning;
+  g_current = this;
+  swapcontext(&caller_, &ctx_);
+  // Back in the main context: the fiber either yielded or finished.
+  if (state_ == State::kRunning) state_ = State::kSuspended;
+  g_current = nullptr;
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current;
+  assert(self != nullptr && "yield() must be called from inside a fiber");
+  self->state_ = State::kSuspended;
+  g_current = nullptr;
+  swapcontext(&self->ctx_, &self->caller_);
+  // Resumed again.
+  self->state_ = State::kRunning;
+  g_current = self;
+}
+
+}  // namespace spam::sim

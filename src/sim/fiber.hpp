@@ -1,0 +1,62 @@
+// Cooperative fibers (ucontext-based) used to run one simulated node's
+// program per fiber on top of the single-threaded event engine.
+//
+// Discipline: the *main* context resumes a fiber with resume(); the fiber
+// runs until it calls Fiber::yield() (or returns), which switches back to
+// the main context.  Fibers never resume each other directly — all
+// scheduling goes through the engine, preserving determinism.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace spam::sim {
+
+class Fiber {
+ public:
+  enum class State { kCreated, kRunning, kSuspended, kFinished };
+
+  /// Creates a fiber that will execute `body` on first resume().
+  /// `stack_bytes` must comfortably hold the deepest call chain of the
+  /// simulated program; application arrays belong on the heap.
+  explicit Fiber(std::function<void()> body,
+                 std::size_t stack_bytes = 512 * 1024,
+                 std::string name = {});
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switches from the main context into the fiber.  Must not be called
+  /// from inside any fiber, and not on a finished fiber.
+  void resume();
+
+  /// Switches from the currently running fiber back to the main context.
+  /// Must be called from inside a fiber.
+  static void yield();
+
+  /// The fiber currently executing, or nullptr when in the main context.
+  static Fiber* current();
+
+  State state() const { return state_; }
+  bool finished() const { return state_ == State::kFinished; }
+  const std::string& name() const { return name_; }
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_body();
+
+  std::function<void()> body_;
+  std::unique_ptr<char[]> stack_;
+  std::size_t stack_bytes_;
+  std::string name_;
+  ucontext_t ctx_{};
+  ucontext_t caller_{};
+  State state_ = State::kCreated;
+};
+
+}  // namespace spam::sim

@@ -1,0 +1,42 @@
+// Lightweight, optional event tracing.  Disabled by default; tests and
+// debugging sessions enable it per category.  Costs one branch when off.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace spam::sim {
+
+enum class TraceCat : unsigned {
+  kAdapter = 1u << 0,
+  kSwitch = 1u << 1,
+  kFlow = 1u << 2,
+  kAm = 1u << 3,
+  kMpi = 1u << 4,
+  kApp = 1u << 5,
+};
+
+class Trace {
+ public:
+  static void enable(TraceCat cat) { mask_ |= static_cast<unsigned>(cat); }
+  static void disable_all() { mask_ = 0; }
+  static bool on(TraceCat cat) {
+    return (mask_ & static_cast<unsigned>(cat)) != 0;
+  }
+
+  template <typename... Args>
+  static void log(TraceCat cat, Time t, const char* fmt, Args... args) {
+    if (!on(cat)) return;
+    std::fprintf(stderr, "[%12.3f us] ", to_usec(t));
+    std::fprintf(stderr, fmt, args...);
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  static inline unsigned mask_ = 0;
+};
+
+}  // namespace spam::sim

@@ -1,0 +1,122 @@
+#include "sim/world.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace spam::sim {
+
+Engine& NodeCtx::engine() { return world_->engine(); }
+
+Time NodeCtx::now() { return engine().now(); }
+
+void NodeCtx::elapse(Time d) {
+  assert(Fiber::current() == fiber_ && "elapse() must run on the node fiber");
+  sleep_state_ = SleepState::kElapsing;
+  engine().after(d, [this] {
+    // Only our own timer ends an elapse; resumers cannot shorten charged
+    // CPU time (they latch wake_pending_ instead).
+    assert(sleep_state_ == SleepState::kElapsing);
+    sleep_state_ = SleepState::kRunning;
+    fiber_->resume();
+  });
+  Fiber::yield();
+}
+
+void NodeCtx::suspend() {
+  assert(Fiber::current() == fiber_ && "suspend() must run on the node fiber");
+  if (wake_pending_) {
+    // A wake arrived while we were running/elapsing; consume it now.
+    wake_pending_ = false;
+    return;
+  }
+  sleep_state_ = SleepState::kWaiting;
+  Fiber::yield();
+}
+
+std::function<void()> NodeCtx::make_resumer() {
+  return [this] {
+    auto deliver = [this] {
+      if (fiber_ == nullptr || fiber_->finished()) return;
+      if (sleep_state_ == SleepState::kWaiting) {
+        sleep_state_ = SleepState::kRunning;
+        fiber_->resume();
+      } else {
+        // Running or elapsing: latch for the next suspend().
+        wake_pending_ = true;
+      }
+    };
+    if (Fiber::current() == nullptr) {
+      deliver();  // already in the main context (an engine event)
+    } else {
+      // Called from some fiber: defer so fibers never switch directly.
+      engine().at(engine().now(), deliver);
+    }
+  };
+}
+
+World::World(int num_nodes, std::uint64_t seed) : root_rng_(seed) {
+  nodes_.reserve(num_nodes);
+  for (int r = 0; r < num_nodes; ++r) {
+    nodes_.push_back(std::make_unique<NodeCtx>(*this, r, root_rng_.split(r)));
+  }
+}
+
+World::~World() = default;
+
+void World::spawn(int rank, Program program) {
+  if (rank < 0 || rank >= size()) {
+    throw std::out_of_range("World::spawn: bad rank");
+  }
+  pending_.emplace_back(rank, std::move(program));
+}
+
+void World::spawn_all(Program program) {
+  for (int r = 0; r < size(); ++r) spawn(r, program);
+}
+
+void World::launch_pending() {
+  for (auto& [rank, program] : pending_) {
+    NodeCtx& ctx = *nodes_[rank];
+    auto fiber = std::make_unique<Fiber>(
+        [&ctx, prog = std::move(program)] { prog(ctx); }, 512 * 1024,
+        "node" + std::to_string(rank));
+    ctx.fiber_ = fiber.get();
+    Fiber* f = fiber.get();
+    engine_.at(engine_.now(), [f] { f->resume(); });
+    fibers_.push_back(std::move(fiber));
+  }
+  pending_.clear();
+}
+
+void World::check_finished() {
+  std::ostringstream stuck;
+  int n_stuck = 0;
+  for (std::size_t i = 0; i < fibers_.size(); ++i) {
+    if (!fibers_[i]->finished()) {
+      if (n_stuck++) stuck << ", ";
+      stuck << fibers_[i]->name();
+    }
+  }
+  if (n_stuck > 0) {
+    throw std::runtime_error(
+        "World::run: deadlock — event queue drained with " +
+        std::to_string(n_stuck) + " program(s) still blocked: " + stuck.str());
+  }
+}
+
+void World::run() {
+  launch_pending();
+  engine_.run();
+  check_finished();
+}
+
+bool World::run_until(Time deadline) {
+  launch_pending();
+  engine_.run_until(deadline);
+  for (const auto& f : fibers_) {
+    if (!f->finished()) return false;
+  }
+  return true;
+}
+
+}  // namespace spam::sim

@@ -1,0 +1,125 @@
+// World: an engine plus N simulated nodes, each running its program on a
+// cooperative fiber.
+//
+// A node's program sees virtual time through its NodeCtx: `elapse(t)`
+// charges CPU time (the only way time passes for that node), `suspend()` /
+// `make_resumer()` let hardware models park and wake a node, and `now()`
+// reads the shared clock.  Because each node has exactly one fiber, the
+// node-local clock is simply the engine clock at the instants its fiber runs.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace spam::sim {
+
+class World;
+
+/// Per-node handle given to simulated programs.
+class NodeCtx {
+ public:
+  NodeCtx(World& world, int rank, Rng rng)
+      : world_(&world), rank_(rank), rng_(rng) {}
+
+  int rank() const { return rank_; }
+  World& world() { return *world_; }
+  Engine& engine();
+  Rng& rng() { return rng_; }
+
+  /// Current virtual time.
+  Time now();
+
+  /// Charges `d` ticks of CPU time to this node: the fiber sleeps until
+  /// now()+d while the rest of the system keeps running.
+  void elapse(Time d);
+
+  /// Charges fractional microseconds of CPU time.
+  void elapse_us(double us) { elapse(usec(us)); }
+
+  /// Parks the fiber until some event calls the resumer returned by
+  /// make_resumer().  Wakes may be spurious (two resumers racing): callers
+  /// must re-check their condition in a loop.  A wake that arrives while
+  /// the node is running or elapsing is latched and consumed by the next
+  /// suspend(), so wake-ups are never lost.
+  void suspend();
+
+  /// Returns a callable that wakes this node out of suspend().  Safe to
+  /// call from engine events or from any fiber (fiber calls are deferred
+  /// through an engine event so fibers never switch to each other
+  /// directly).  Does NOT interrupt elapse(): charged CPU time is
+  /// indivisible.
+  std::function<void()> make_resumer();
+
+  /// Spins until `done()` returns true, charging `poll_cost` per check.
+  /// Mirrors the paper's polling discipline: waiting burns CPU in poll
+  /// quanta, so "timeouts" can be emulated by counting unsuccessful polls.
+  template <typename Pred>
+  void poll_until(Pred&& done, Time poll_cost) {
+    assert(poll_cost > 0 && "zero-cost poll loop would freeze virtual time");
+    while (!done()) elapse(poll_cost);
+  }
+
+ private:
+  friend class World;
+  enum class SleepState { kRunning, kElapsing, kWaiting };
+
+  World* world_;
+  int rank_;
+  Rng rng_;
+  Fiber* fiber_ = nullptr;  // owned by World
+  SleepState sleep_state_ = SleepState::kRunning;
+  bool wake_pending_ = false;
+};
+
+class World {
+ public:
+  explicit World(int num_nodes, std::uint64_t seed = 1);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  Engine& engine() { return engine_; }
+  NodeCtx& node(int rank) { return *nodes_.at(rank); }
+
+  /// Program run by a node: receives its NodeCtx.
+  using Program = std::function<void(NodeCtx&)>;
+
+  /// Assigns a program to one node (fiber starts when run() is called).
+  void spawn(int rank, Program program);
+
+  /// Assigns the same program to every node.
+  void spawn_all(Program program);
+
+  /// Runs the simulation until all programs finish and events drain.
+  /// Throws std::runtime_error on deadlock (fibers alive, no events) —
+  /// the error lists the stuck ranks.
+  void run();
+
+  /// Like run() but gives up once the virtual clock passes `deadline`.
+  /// Returns true if all programs finished.
+  bool run_until(Time deadline);
+
+ private:
+  void launch_pending();
+  void check_finished();
+
+  Engine engine_;
+  Rng root_rng_;
+  std::vector<std::unique_ptr<NodeCtx>> nodes_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<std::pair<int, Program>> pending_;
+};
+
+}  // namespace spam::sim

@@ -1,0 +1,143 @@
+#include "sphw/adapter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "sim/trace.hpp"
+#include "sphw/switch.hpp"
+
+namespace spam::sphw {
+
+namespace {
+sim::Time ceil_us(double us) { return sim::usec(us); }
+}  // namespace
+
+Tb2Adapter::Tb2Adapter(sim::Engine& engine, SwitchFabric& fabric, int node,
+                       const SpParams& params, int active_nodes)
+    : engine_(engine),
+      fabric_(fabric),
+      node_(node),
+      params_(params),
+      rx_fifo_capacity_(params.recv_fifo_entries_per_node *
+                        std::max(1, active_nodes)) {
+  fabric_.attach(node, this);
+}
+
+void Tb2Adapter::host_enqueue(sim::NodeCtx& ctx, Packet pkt,
+                              bool ring_doorbell) {
+  assert(host_send_space() && "send FIFO overflow: caller must check space");
+  assert(pkt.payload_bytes <=
+         static_cast<std::uint32_t>(params_.packet_data_bytes));
+  pkt.src = static_cast<std::int16_t>(node_);
+
+  // Host writes the entry into the memory-resident FIFO, then flushes the
+  // touched cache lines (the memory bus is not coherent).
+  const std::uint32_t entry_bytes = pkt.wire_bytes(params_);
+  const int lines =
+      (static_cast<int>(entry_bytes) + params_.cache_line_bytes - 1) /
+      params_.cache_line_bytes;
+  ctx.elapse(ceil_us(entry_bytes * params_.host_write_us_per_byte +
+                     lines * params_.flush_line_us));
+
+  ++send_fifo_used_;
+  awaiting_doorbell_.push_back(std::move(pkt));
+  if (ring_doorbell) host_doorbell(ctx, 1);
+}
+
+void Tb2Adapter::host_doorbell(sim::NodeCtx& ctx, int npackets) {
+  assert(npackets > 0 &&
+         npackets <= static_cast<int>(awaiting_doorbell_.size()));
+  // One store across the MicroChannel covers several length-array slots.
+  ctx.elapse(ceil_us(params_.mc_access_us));
+  ++stats_.doorbells;
+  for (int i = 0; i < npackets; ++i) {
+    submit_to_tx_pipeline(std::move(awaiting_doorbell_.front()));
+    awaiting_doorbell_.pop_front();
+  }
+}
+
+void Tb2Adapter::submit_to_tx_pipeline(Packet pkt) {
+  const sim::Time now = engine_.now();
+  const std::uint32_t bytes = pkt.wire_bytes(params_);
+
+  // Stage 1: MicroChannel DMA fetch of the FIFO entry.
+  const sim::Time dma_start = std::max(now, tx_dma_free_);
+  tx_dma_free_ = dma_start + ceil_us(params_.dma_setup_us) +
+                 sim::transfer_time(bytes, params_.mc_dma_mbps);
+  // The send-FIFO entry is reusable once the adapter has fetched it.
+  engine_.at(tx_dma_free_, [this] { --send_fifo_used_; });
+
+  // Stage 2: i860 firmware processing.
+  const sim::Time i860_start = std::max(tx_dma_free_, tx_i860_free_);
+  tx_i860_free_ = i860_start + ceil_us(params_.i860_tx_us);
+
+  // Stage 3: link serialization out of the MSMU.
+  const sim::Time link_start = std::max(tx_i860_free_, link_free_);
+  link_free_ = link_start + sim::transfer_time(bytes, params_.link_mbps);
+
+  ++stats_.tx_packets;
+  stats_.tx_bytes += bytes;
+
+  sim::Trace::log(sim::TraceCat::kAdapter, now,
+                  "node%d tx pkt dst=%d ch=%u seq=%u bytes=%u departs=%.3f",
+                  node_, pkt.dst, pkt.channel, pkt.seq, bytes,
+                  sim::to_usec(link_free_));
+
+  engine_.at(link_free_,
+             [this, p = std::move(pkt)]() mutable { fabric_.transmit(std::move(p)); });
+}
+
+void Tb2Adapter::deliver_from_switch(Packet pkt) {
+  const sim::Time now = engine_.now();
+  const std::uint32_t bytes = pkt.wire_bytes(params_);
+
+  // Stage 1: i860 firmware pulls the packet off the MSMU.
+  const sim::Time i860_start = std::max(now, rx_i860_free_);
+  rx_i860_free_ = i860_start + ceil_us(params_.i860_rx_us);
+
+  // Stage 2: DMA into the host receive FIFO.
+  const sim::Time dma_start = std::max(rx_i860_free_, rx_dma_free_);
+  rx_dma_free_ = dma_start + ceil_us(params_.dma_setup_us) +
+                 sim::transfer_time(bytes, params_.mc_dma_mbps);
+
+  engine_.at(rx_dma_free_, [this, p = std::move(pkt)]() mutable {
+    if (rx_fifo_used_ >= rx_fifo_capacity_) {
+      // Input buffer overflow: the packet is lost; flow control recovers.
+      ++stats_.rx_dropped_fifo_full;
+      sim::Trace::log(sim::TraceCat::kAdapter, engine_.now(),
+                      "node%d rx DROP (fifo full) src=%d seq=%u", node_,
+                      p.src, p.seq);
+      return;
+    }
+    ++rx_fifo_used_;
+    ++stats_.rx_packets;
+    stats_.rx_bytes += p.wire_bytes(params_);
+    rx_queue_.push_back(std::move(p));
+    if (rx_notify_) rx_notify_();
+  });
+}
+
+Packet Tb2Adapter::host_rx_take(sim::NodeCtx& ctx) {
+  assert(!rx_queue_.empty());
+  Packet pkt = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+
+  // Copy the entry out of the FIFO into user buffers.
+  ctx.elapse(ceil_us(pkt.wire_bytes(params_) * params_.host_copy_us_per_byte));
+
+  // Lazy pop: the entry is only returned to the adapter every
+  // lazy_pop_batch takes, costing one MicroChannel access.
+  if (++pops_owed_ >= params_.lazy_pop_batch) host_rx_flush_pops(ctx);
+  return pkt;
+}
+
+void Tb2Adapter::host_rx_flush_pops(sim::NodeCtx& ctx) {
+  if (pops_owed_ == 0) return;
+  ctx.elapse(ceil_us(params_.mc_access_us));
+  rx_fifo_used_ -= pops_owed_;
+  assert(rx_fifo_used_ >= 0);
+  pops_owed_ = 0;
+}
+
+}  // namespace spam::sphw

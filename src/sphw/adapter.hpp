@@ -1,0 +1,137 @@
+// TB2 network adapter model.
+//
+// The host side (called from the node's fiber, charging CPU time) mirrors
+// the paper's programming interface: write a packet into the next
+// memory-resident send-FIFO entry, flush its cache lines, then store the
+// transfer length into the packet-length array in adapter memory across the
+// MicroChannel (the "doorbell", ~1 us; bulk senders batch several lengths
+// into one store).  The adapter firmware (pure engine events) DMAs
+// doorbelled entries across the MicroChannel, runs i860 processing, and
+// serializes packets onto the switch link.  Receives flow the opposite way
+// into a bounded receive FIFO; the host pops entries lazily, one
+// MicroChannel access per batch.
+//
+// The tx/rx pipelines are modeled analytically with per-resource
+// next-free-time clocks (DMA engine, i860, link); packets move strictly
+// FIFO through each resource, so arrival times can be computed at submit
+// time and a single delivery event scheduled.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/engine.hpp"
+#include "sim/world.hpp"
+#include "sphw/packet.hpp"
+#include "sphw/params.hpp"
+
+namespace spam::sphw {
+
+class SwitchFabric;
+
+class Tb2Adapter {
+ public:
+  Tb2Adapter(sim::Engine& engine, SwitchFabric& fabric, int node,
+             const SpParams& params, int active_nodes);
+
+  Tb2Adapter(const Tb2Adapter&) = delete;
+  Tb2Adapter& operator=(const Tb2Adapter&) = delete;
+
+  int node() const { return node_; }
+  const SpParams& params() const { return params_; }
+
+  // --- Host send side (call from the node fiber) --------------------------
+
+  /// True if the send FIFO has a free entry.
+  bool host_send_space() const {
+    return send_fifo_used_ < params_.send_fifo_entries;
+  }
+  int host_send_free() const {
+    return params_.send_fifo_entries - send_fifo_used_;
+  }
+
+  /// Writes `pkt` into the next send-FIFO entry: charges the store and
+  /// cache-flush costs.  If `ring_doorbell`, also charges one MicroChannel
+  /// access and makes the packet visible to the adapter; otherwise the
+  /// caller must follow up with host_doorbell().  Requires free space.
+  void host_enqueue(sim::NodeCtx& ctx, Packet pkt, bool ring_doorbell = true);
+
+  /// Stores the lengths of the `npackets` most recently enqueued (and not
+  /// yet doorbelled) packets with a single MicroChannel access.
+  void host_doorbell(sim::NodeCtx& ctx, int npackets);
+
+  // --- Host receive side ---------------------------------------------------
+
+  /// Number of packets sitting in the host-visible receive FIFO.
+  int host_rx_pending() const { return static_cast<int>(rx_queue_.size()); }
+  bool host_rx_ready() const { return !rx_queue_.empty(); }
+
+  /// Copies the front packet out of the receive FIFO (charges the copy) and
+  /// performs the lazy-pop bookkeeping (one MicroChannel access per
+  /// lazy_pop_batch takes, which is when FIFO entries actually free up).
+  Packet host_rx_take(sim::NodeCtx& ctx);
+
+  /// Forces the lazy pop to flush now (frees all consumed entries).
+  void host_rx_flush_pops(sim::NodeCtx& ctx);
+
+  // --- Fabric side (engine events only) ------------------------------------
+
+  /// Called by the switch at the instant the packet reaches this adapter.
+  void deliver_from_switch(Packet pkt);
+
+  /// Interrupt line: invoked (from an engine event) whenever a packet
+  /// becomes host-visible while the line is armed.  Used by the AM layer's
+  /// interrupt-driven reception mode; polling mode leaves it unset.
+  void set_rx_notify(std::function<void()> fn) { rx_notify_ = std::move(fn); }
+  void clear_rx_notify() { rx_notify_ = nullptr; }
+
+  struct Stats {
+    std::uint64_t tx_packets = 0;
+    std::uint64_t rx_packets = 0;
+    std::uint64_t rx_dropped_fifo_full = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t doorbells = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Receive-FIFO capacity (entries) as configured.
+  int rx_fifo_capacity() const { return rx_fifo_capacity_; }
+  /// Entries currently occupied from the adapter's point of view
+  /// (includes host-consumed entries not yet lazily popped).
+  int rx_fifo_occupied() const { return rx_fifo_used_; }
+
+ private:
+  void submit_to_tx_pipeline(Packet pkt);
+
+  sim::Engine& engine_;
+  SwitchFabric& fabric_;
+  const int node_;
+  const SpParams params_;
+
+  // Send side.
+  int send_fifo_used_ = 0;
+  std::deque<Packet> awaiting_doorbell_;
+
+  // Tx pipeline next-free clocks.
+  sim::Time tx_dma_free_ = 0;
+  sim::Time tx_i860_free_ = 0;
+  sim::Time link_free_ = 0;
+
+  // Rx pipeline next-free clocks.
+  sim::Time rx_i860_free_ = 0;
+  sim::Time rx_dma_free_ = 0;
+
+  // Receive FIFO: capacity tracks adapter view; rx_queue_ is what the host
+  // can see; pops_owed_ counts host takes not yet flushed to the adapter.
+  const int rx_fifo_capacity_;
+  int rx_fifo_used_ = 0;
+  std::deque<Packet> rx_queue_;
+  int pops_owed_ = 0;
+  std::function<void()> rx_notify_;
+
+  Stats stats_;
+};
+
+}  // namespace spam::sphw

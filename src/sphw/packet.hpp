@@ -1,0 +1,48 @@
+// Wire packet exchanged through the simulated TB2 adapters and SP switch.
+//
+// A packet corresponds to one send/receive-FIFO entry.  The protocol layers
+// (SP AM, MPL) interpret the generic header fields; the hardware layer only
+// looks at src/dst and the on-wire size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sphw/params.hpp"
+
+namespace spam::sphw {
+
+struct Packet {
+  std::int16_t src = 0;
+  std::int16_t dst = 0;
+  /// Logical channel: protocol layers use it to separate request/reply
+  /// traffic (deadlock freedom) or to mark their own traffic class.
+  std::uint8_t channel = 0;
+  /// Protocol-defined flag bits (e.g. NACK, chunk-final).
+  std::uint8_t flags = 0;
+  /// Protocol sequence number (chunk granularity for SP AM).
+  std::uint32_t seq = 0;
+  /// Byte offset of this packet's payload within its bulk operation.
+  std::uint32_t offset = 0;
+  /// Position of this packet within its chunk and the chunk's packet count
+  /// (SP AM numbers packets inside a chunk; one ack covers the chunk).
+  std::uint16_t chunk_idx = 0;
+  std::uint16_t chunk_len = 1;
+  /// Piggybacked cumulative acknowledgements, one per channel.
+  std::uint32_t ack[2] = {0, 0};
+  /// Protocol header words (handler index, token, addresses, small args).
+  std::uint64_t h[4] = {0, 0, 0, 0};
+  /// Number of payload bytes that occupy the wire (argument words and/or
+  /// bulk data).  Drives all timing.
+  std::uint32_t payload_bytes = 0;
+  /// Actual content for bulk transfers; may be empty for control packets
+  /// whose logical payload lives in h[] (still accounted by payload_bytes).
+  std::vector<std::byte> data;
+
+  std::uint32_t wire_bytes(const SpParams& p) const {
+    return static_cast<std::uint32_t>(p.packet_header_bytes) + payload_bytes;
+  }
+};
+
+}  // namespace spam::sphw

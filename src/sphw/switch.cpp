@@ -1,0 +1,38 @@
+#include "sphw/switch.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "sim/trace.hpp"
+#include "sphw/adapter.hpp"
+
+namespace spam::sphw {
+
+SwitchFabric::SwitchFabric(sim::Engine& engine, const SpParams& params,
+                           int num_nodes)
+    : engine_(engine), params_(params), adapters_(num_nodes, nullptr) {}
+
+void SwitchFabric::attach(int node, Tb2Adapter* adapter) {
+  assert(node >= 0 && node < size());
+  assert(adapters_[node] == nullptr);
+  adapters_[node] = adapter;
+}
+
+void SwitchFabric::transmit(Packet pkt) {
+  assert(pkt.dst >= 0 && pkt.dst < size() && adapters_[pkt.dst] != nullptr);
+  if (drop_fn_ && drop_fn_(pkt)) {
+    ++stats_.dropped_injected;
+    sim::Trace::log(sim::TraceCat::kSwitch, engine_.now(),
+                    "switch DROP injected %d->%d ch=%u seq=%u off=%u",
+                    pkt.src, pkt.dst, pkt.channel, pkt.seq, pkt.offset);
+    return;
+  }
+  ++stats_.delivered;
+  Tb2Adapter* dst = adapters_[pkt.dst];
+  engine_.after(sim::usec(params_.hop_latency_us),
+                [dst, p = std::move(pkt)]() mutable {
+                  dst->deliver_from_switch(std::move(p));
+                });
+}
+
+}  // namespace spam::sphw

@@ -1,0 +1,55 @@
+// SP high-performance switch model.
+//
+// Egress serialization happens in the sending adapter (its link clock); the
+// fabric itself contributes a fixed hardware hop latency and is the hook
+// point for fault injection (packet drops) used by the flow-control tests.
+// The four redundant routes of the real switch are collapsed into one
+// FIFO path: SP AM relies on (and the real TB2 firmware provides) in-order
+// delivery, which a single path gives us by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sphw/packet.hpp"
+#include "sphw/params.hpp"
+
+namespace spam::sphw {
+
+class Tb2Adapter;
+
+class SwitchFabric {
+ public:
+  SwitchFabric(sim::Engine& engine, const SpParams& params, int num_nodes);
+
+  void attach(int node, Tb2Adapter* adapter);
+
+  /// Called by a sending adapter at the instant a packet finishes leaving
+  /// on its link; schedules delivery after the hop latency (unless a fault
+  /// hook eats the packet).
+  void transmit(Packet pkt);
+
+  /// Fault injection: return true to drop the packet.  Used by tests and
+  /// the fault-injection example; production runs leave it unset.
+  using DropFn = std::function<bool(const Packet&)>;
+  void set_drop_fn(DropFn fn) { drop_fn_ = std::move(fn); }
+
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_injected = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  int size() const { return static_cast<int>(adapters_.size()); }
+
+ private:
+  sim::Engine& engine_;
+  const SpParams params_;
+  std::vector<Tb2Adapter*> adapters_;
+  DropFn drop_fn_;
+  Stats stats_;
+};
+
+}  // namespace spam::sphw

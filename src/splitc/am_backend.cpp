@@ -1,0 +1,114 @@
+#include "splitc/am_backend.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace spam::splitc {
+
+namespace {
+
+// Linux user-space heap addresses fit in 47 bits, so the transfer length
+// (1..8) travels in the pointer's top byte — the four 32-bit AM argument
+// words then exactly fit an address plus a value.
+constexpr int kLenShift = 56;
+
+std::uint64_t pack_addr_len(const void* p, int len) {
+  const auto a = reinterpret_cast<std::uint64_t>(p);
+  assert((a >> kLenShift) == 0 && "address does not fit the packing scheme");
+  assert(len >= 1 && len <= 8);
+  return a | (static_cast<std::uint64_t>(len) << kLenShift);
+}
+
+void* unpack_addr(std::uint64_t v) {
+  return reinterpret_cast<void*>(v & ((1ull << kLenShift) - 1));
+}
+
+int unpack_len(std::uint64_t v) { return static_cast<int>(v >> kLenShift); }
+
+std::uint64_t words_to_u64(am::Word lo, am::Word hi) {
+  return static_cast<std::uint64_t>(lo) |
+         (static_cast<std::uint64_t>(hi) << 32);
+}
+
+void write_scalar(void* addr, std::uint64_t bits, int len) {
+  std::memcpy(addr, &bits, static_cast<std::size_t>(len));
+}
+
+std::uint64_t read_scalar(const void* addr, int len) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, addr, static_cast<std::size_t>(len));
+  return bits;
+}
+
+}  // namespace
+
+AmBackend::AmBackend(am::Endpoint& ep) : ep_(ep) {
+  h_put_ack_ = ep_.register_handler(
+      [this](am::Endpoint&, am::Token, const am::Word*, int) {
+        --outstanding_;
+      });
+  h_put_ = ep_.register_handler([this](am::Endpoint& e, am::Token t,
+                                       const am::Word* a, int) {
+    const std::uint64_t packed = words_to_u64(a[0], a[1]);
+    const std::uint64_t bits = words_to_u64(a[2], a[3]);
+    write_scalar(unpack_addr(packed), bits, unpack_len(packed));
+    e.reply_1(t, h_put_ack_, 0);
+  });
+  h_get_reply_ = ep_.register_handler(
+      [this](am::Endpoint&, am::Token, const am::Word* a, int) {
+        const std::uint64_t bits = words_to_u64(a[0], a[1]);
+        const std::uint64_t packed = words_to_u64(a[2], a[3]);
+        write_scalar(unpack_addr(packed), bits, unpack_len(packed));
+        --outstanding_;
+      });
+  h_get_ = ep_.register_handler([this](am::Endpoint& e, am::Token t,
+                                       const am::Word* a, int) {
+    const std::uint64_t src_packed = words_to_u64(a[0], a[1]);
+    const std::uint64_t local_packed = words_to_u64(a[2], a[3]);
+    const std::uint64_t bits =
+        read_scalar(unpack_addr(src_packed), unpack_len(src_packed));
+    e.reply_4(t, h_get_reply_, static_cast<am::Word>(bits),
+              static_cast<am::Word>(bits >> 32),
+              static_cast<am::Word>(local_packed),
+              static_cast<am::Word>(local_packed >> 32));
+  });
+}
+
+int AmBackend::size() const {
+  return const_cast<am::Endpoint&>(ep_).ctx().world().size();
+}
+
+void AmBackend::put_small(int dst, void* dst_addr, std::uint64_t bits,
+                          int len) {
+  ++outstanding_;
+  const std::uint64_t packed = pack_addr_len(dst_addr, len);
+  ep_.request_4(dst, h_put_, static_cast<am::Word>(packed),
+                static_cast<am::Word>(packed >> 32),
+                static_cast<am::Word>(bits),
+                static_cast<am::Word>(bits >> 32));
+}
+
+void AmBackend::get_small(int dst, const void* src_addr, void* local_addr,
+                          int len) {
+  ++outstanding_;
+  const std::uint64_t src_packed = pack_addr_len(src_addr, len);
+  const std::uint64_t local_packed = pack_addr_len(local_addr, len);
+  ep_.request_4(dst, h_get_, static_cast<am::Word>(src_packed),
+                static_cast<am::Word>(src_packed >> 32),
+                static_cast<am::Word>(local_packed),
+                static_cast<am::Word>(local_packed >> 32));
+}
+
+void AmBackend::bulk_put(int dst, void* dst_addr, const void* src,
+                         std::size_t len) {
+  ++outstanding_;
+  ep_.store_async(dst, dst_addr, src, len, 0, 0, [this] { --outstanding_; });
+}
+
+void AmBackend::bulk_get(int dst, const void* src_addr, void* dst_addr,
+                         std::size_t len) {
+  ++outstanding_;
+  ep_.get(dst, src_addr, dst_addr, len, 0, 0, [this] { --outstanding_; });
+}
+
+}  // namespace spam::splitc

@@ -1,0 +1,45 @@
+// Split-C over a LogGP machine model — used to run the paper's Split-C
+// benchmarks "on" the CM-5, Meiko CS-2, and U-Net/ATM cluster of Table 4.
+#pragma once
+
+#include "logp/loggp.hpp"
+#include "splitc/transport.hpp"
+
+namespace spam::splitc {
+
+class LogGpBackend final : public Transport {
+ public:
+  LogGpBackend(logp::LogGpEndpoint& ep, int world_size)
+      : ep_(ep), world_size_(world_size) {}
+
+  int rank() const override { return ep_.rank(); }
+  int size() const override { return world_size_; }
+
+  void put_small(int dst, void* dst_addr, std::uint64_t bits,
+                 int len) override {
+    ep_.put_bytes(dst, dst_addr, &bits, static_cast<std::size_t>(len));
+  }
+  void get_small(int dst, const void* src_addr, void* local_addr,
+                 int len) override {
+    ep_.get_bytes(dst, src_addr, local_addr, static_cast<std::size_t>(len));
+  }
+  void bulk_put(int dst, void* dst_addr, const void* src,
+                std::size_t len) override {
+    ep_.put_bytes(dst, dst_addr, src, len);
+  }
+  void bulk_get(int dst, const void* src_addr, void* dst_addr,
+                std::size_t len) override {
+    ep_.get_bytes(dst, src_addr, dst_addr, len);
+  }
+  int outstanding() const override { return ep_.outstanding(); }
+  void poll() override { ep_.poll(); }
+  double cpu_scale() const override { return ep_.params().cpu_scale; }
+
+  logp::LogGpEndpoint& endpoint() { return ep_; }
+
+ private:
+  logp::LogGpEndpoint& ep_;
+  int world_size_;
+};
+
+}  // namespace spam::splitc

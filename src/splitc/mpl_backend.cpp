@@ -1,0 +1,147 @@
+#include "splitc/mpl_backend.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace spam::splitc {
+
+MplBackend::MplBackend(mpl::MplEndpoint& ep, int world_size)
+    : ep_(ep), world_size_(world_size) {
+  svc_buf_.resize(sizeof(Header) + kMaxPiece);
+  repost_service();
+}
+
+void MplBackend::repost_service() {
+  svc_handle_ =
+      ep_.mpc_recv(svc_buf_.data(), svc_buf_.size(), mpl::kAnySource, kSvcTag);
+}
+
+void MplBackend::send_svc(int dst, const Header& h, const void* payload,
+                          std::size_t payload_len) {
+  std::vector<std::byte> msg(sizeof(Header) + payload_len);
+  Header stamped = h;
+  stamped.origin = static_cast<std::uint32_t>(rank());
+  std::memcpy(msg.data(), &stamped, sizeof(Header));
+  if (payload_len > 0) {
+    std::memcpy(msg.data() + sizeof(Header), payload, payload_len);
+  }
+  // mpc_wait polls, so service processing continues while the send drains;
+  // the data is snapshotted in `msg`, making the op split-phase for the
+  // caller even though the MPL send itself is synchronous.
+  ep_.mpc_wait(ep_.mpc_send(msg.data(), msg.size(), dst, kSvcTag));
+}
+
+void MplBackend::put_small(int dst, void* dst_addr, std::uint64_t bits,
+                           int len) {
+  ++outstanding_;
+  Header h{Op::kPutSmall, static_cast<std::uint32_t>(len), 0, 0,
+           reinterpret_cast<std::uint64_t>(dst_addr), 0, bits};
+  send_svc(dst, h, nullptr, 0);
+}
+
+void MplBackend::get_small(int dst, const void* src_addr, void* local_addr,
+                           int len) {
+  ++outstanding_;
+  Header h{Op::kGetSmall, static_cast<std::uint32_t>(len), 0, 0,
+           reinterpret_cast<std::uint64_t>(src_addr),
+           reinterpret_cast<std::uint64_t>(local_addr), 0};
+  send_svc(dst, h, nullptr, 0);
+}
+
+void MplBackend::bulk_put(int dst, void* dst_addr, const void* src,
+                          std::size_t len) {
+  const auto* p = static_cast<const std::byte*>(src);
+  auto* d = static_cast<std::byte*>(dst_addr);
+  std::size_t off = 0;
+  do {
+    const std::size_t piece = std::min(kMaxPiece, len - off);
+    ++outstanding_;
+    Header h{Op::kBulkPut, static_cast<std::uint32_t>(piece), 0, 0,
+             reinterpret_cast<std::uint64_t>(d + off), 0, 0};
+    send_svc(dst, h, p + off, piece);
+    off += piece;
+  } while (off < len);
+}
+
+void MplBackend::bulk_get(int dst, const void* src_addr, void* dst_addr,
+                          std::size_t len) {
+  const auto* s = static_cast<const std::byte*>(src_addr);
+  auto* d = static_cast<std::byte*>(dst_addr);
+  std::size_t off = 0;
+  do {
+    const std::size_t piece = std::min(kMaxPiece, len - off);
+    ++outstanding_;
+    Header h{Op::kBulkGet, static_cast<std::uint32_t>(piece), 0, 0,
+             reinterpret_cast<std::uint64_t>(s + off),
+             reinterpret_cast<std::uint64_t>(d + off), 0};
+    send_svc(dst, h, nullptr, 0);
+    off += piece;
+  } while (off < len);
+}
+
+void MplBackend::process(const std::byte* buf, std::size_t len) {
+  assert(len >= sizeof(Header));
+  (void)len;
+  Header h;
+  std::memcpy(&h, buf, sizeof(Header));
+  const std::byte* payload = buf + sizeof(Header);
+  const int origin = static_cast<int>(h.origin);
+
+  switch (h.op) {
+    case Op::kPutSmall: {
+      std::memcpy(reinterpret_cast<void*>(h.addr), &h.bits, h.len);
+      Header ack{Op::kAck, 0, 0, 0, 0, 0, 0};
+      send_svc(origin, ack, nullptr, 0);
+      break;
+    }
+    case Op::kGetSmall: {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, reinterpret_cast<const void*>(h.addr), h.len);
+      Header rep{Op::kGetSmallReply, h.len, 0, 0, h.reply_addr, 0, bits};
+      send_svc(origin, rep, nullptr, 0);
+      break;
+    }
+    case Op::kGetSmallReply: {
+      std::memcpy(reinterpret_cast<void*>(h.addr), &h.bits, h.len);
+      --outstanding_;
+      break;
+    }
+    case Op::kBulkPut: {
+      assert(len == sizeof(Header) + h.len);
+      std::memcpy(reinterpret_cast<void*>(h.addr), payload, h.len);
+      Header ack{Op::kAck, 0, 0, 0, 0, 0, 0};
+      send_svc(origin, ack, nullptr, 0);
+      break;
+    }
+    case Op::kBulkGet: {
+      Header rep{Op::kBulkGetReply, h.len, 0, 0, h.reply_addr, 0, 0};
+      send_svc(origin, rep, reinterpret_cast<const void*>(h.addr), h.len);
+      break;
+    }
+    case Op::kBulkGetReply: {
+      assert(len == sizeof(Header) + h.len);
+      std::memcpy(reinterpret_cast<void*>(h.addr), payload, h.len);
+      --outstanding_;
+      break;
+    }
+    case Op::kAck:
+      --outstanding_;
+      break;
+  }
+}
+
+void MplBackend::poll() {
+  ep_.poll();
+  std::size_t bytes = 0;
+  while (ep_.mpc_test(svc_handle_, &bytes)) {
+    // Copy out and repost before processing: processing may itself block in
+    // sends and service further messages re-entrantly.
+    std::vector<std::byte> msg(svc_buf_.begin(),
+                               svc_buf_.begin() + static_cast<std::ptrdiff_t>(bytes));
+    repost_service();
+    process(msg.data(), msg.size());
+  }
+}
+
+}  // namespace spam::splitc

@@ -1,0 +1,72 @@
+// Split-C over MPL — the baseline port the paper compares against.
+//
+// Every remote-memory operation becomes an MPL message to a service loop on
+// the target (plus a reply/ack message back), which is exactly why the
+// paper finds fine-grained Split-C over MPL slow: each word-sized put pays
+// two full MPL message overheads.  Bulk operations ship header+payload in
+// one message, split into bounded pieces.
+#pragma once
+
+#include <vector>
+
+#include "mpl/mpl.hpp"
+#include "splitc/transport.hpp"
+
+namespace spam::splitc {
+
+class MplBackend final : public Transport {
+ public:
+  explicit MplBackend(mpl::MplEndpoint& ep, int world_size);
+
+  int rank() const override { return ep_.rank(); }
+  int size() const override { return world_size_; }
+  void put_small(int dst, void* dst_addr, std::uint64_t bits,
+                 int len) override;
+  void get_small(int dst, const void* src_addr, void* local_addr,
+                 int len) override;
+  void bulk_put(int dst, void* dst_addr, const void* src,
+                std::size_t len) override;
+  void bulk_get(int dst, const void* src_addr, void* dst_addr,
+                std::size_t len) override;
+  int outstanding() const override { return outstanding_; }
+  void poll() override;
+
+  /// Largest payload carried by one service message; bigger bulk ops are
+  /// split into pieces of this size.
+  static constexpr std::size_t kMaxPiece = 64 * 1024;
+
+ private:
+  enum class Op : std::uint32_t {
+    kPutSmall,
+    kGetSmall,
+    kGetSmallReply,
+    kBulkPut,
+    kBulkGet,
+    kBulkGetReply,
+    kAck,
+  };
+  struct Header {
+    Op op;
+    std::uint32_t len;        // scalar length or payload bytes
+    std::uint32_t origin;     // sender rank (for replies/acks)
+    std::uint32_t pad = 0;
+    std::uint64_t addr;       // target address of the operation
+    std::uint64_t reply_addr; // local address for get replies
+    std::uint64_t bits;       // scalar payload
+  };
+  static constexpr int kSvcTag = 990001;
+
+  void send_svc(int dst, const Header& h, const void* payload,
+                std::size_t payload_len);
+  void repost_service();
+  void process(const std::byte* buf, std::size_t len);
+
+  mpl::MplEndpoint& ep_;
+  int world_size_;
+  int outstanding_ = 0;
+  int svc_handle_ = -1;
+  std::vector<std::byte> svc_buf_;
+  std::vector<std::byte> scratch_;
+};
+
+}  // namespace spam::splitc

@@ -1,0 +1,242 @@
+// Split-C runtime: a split-phase global-address-space programming layer,
+// as ported over SP AM (and MPL, and the LogGP machines) in the paper.
+//
+// Programs use global pointers (gptr<T> = {proc, addr}), split-phase put /
+// get with sync(), one-way store with all_store_sync(), bulk transfers,
+// barriers, and reductions.  Computation is *executed for real* but charged
+// to virtual time through the CpuCost model, scaled per machine, so the
+// paper's cpu/net phase split is measurable.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/world.hpp"
+#include "splitc/transport.hpp"
+
+namespace spam::splitc {
+
+/// Global pointer: a (processor, local address) pair.
+template <typename T>
+struct gptr {
+  int proc = -1;
+  T* addr = nullptr;
+
+  gptr() = default;
+  gptr(int p, T* a) : proc(p), addr(a) {}
+
+  gptr operator+(std::ptrdiff_t n) const { return {proc, addr + n}; }
+  bool operator==(const gptr&) const = default;
+};
+
+/// Per-operation computation costs on the reference SP node; multiplied by
+/// the backend's cpu_scale() for the slower comparison machines.
+struct CpuCost {
+  double us_per_flop = 0.025;     // ~40 sustained Mflops on Power2
+  double us_per_int_op = 0.010;
+  double us_per_byte = 0.005;     // streaming memory traffic
+};
+
+class SplitCNet;
+
+class Runtime {
+ public:
+  Runtime(sim::NodeCtx& ctx, Transport& transport, SplitCNet& net,
+          CpuCost cost = {});
+
+  int my_proc() const { return transport_.rank(); }
+  int procs() const { return transport_.size(); }
+  sim::NodeCtx& ctx() { return ctx_; }
+  Transport& transport() { return transport_; }
+
+  // --- Split-phase operations (complete at the next sync()) ---------------
+
+  template <typename T>
+  void put(gptr<T> dst, T value) {
+    static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+    CommScope cs(*this);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(T));
+    transport_.put_small(dst.proc, dst.addr, bits, sizeof(T));
+  }
+
+  template <typename T>
+  void get(gptr<T> src, T* local) {
+    static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>);
+    CommScope cs(*this);
+    transport_.get_small(src.proc, src.addr, local, sizeof(T));
+  }
+
+  /// Blocking global read (Split-C's implicit dereference of a gptr).
+  template <typename T>
+  T read(gptr<T> src) {
+    T v{};
+    get(src, &v);
+    sync();
+    return v;
+  }
+
+  /// Blocking global write.
+  template <typename T>
+  void write(gptr<T> dst, T value) {
+    put(dst, value);
+    sync();
+  }
+
+  template <typename T>
+  void bulk_put(gptr<T> dst, const T* src, std::size_t count) {
+    CommScope cs(*this);
+    transport_.bulk_put(dst.proc, dst.addr, src, count * sizeof(T));
+  }
+
+  template <typename T>
+  void bulk_get(T* local, gptr<T> src, std::size_t count) {
+    CommScope cs(*this);
+    transport_.bulk_get(src.proc, src.addr, local, count * sizeof(T));
+  }
+
+  /// Blocking bulk read/write conveniences.
+  template <typename T>
+  void bulk_read(T* local, gptr<T> src, std::size_t count) {
+    bulk_get(local, src, count);
+    sync();
+  }
+  template <typename T>
+  void bulk_write(gptr<T> dst, const T* src, std::size_t count) {
+    bulk_put(dst, src, count);
+    sync();
+  }
+
+  /// One-way store (Split-C ":-"): same mechanics as bulk_put; globally
+  /// synchronized with all_store_sync().
+  template <typename T>
+  void store(gptr<T> dst, const T* src, std::size_t count) {
+    bulk_put(dst, src, count);
+  }
+
+  /// Waits for all locally issued split-phase operations.
+  void sync();
+
+  /// Global barrier (dissemination algorithm over scalar puts).
+  void barrier();
+
+  /// sync() + barrier(): all stores everywhere have completed.
+  void all_store_sync() {
+    sync();
+    barrier();
+  }
+
+  // --- Collective helpers ---------------------------------------------------
+
+  /// All-reduce of one u64 (sum); every node returns the total.
+  std::uint64_t all_reduce_add(std::uint64_t local);
+  /// All-reduce of one double (sum).
+  double all_reduce_add(double local);
+  /// All-reduce max of one u64.
+  std::uint64_t all_reduce_max(std::uint64_t local);
+  /// Broadcast one u64 from root.
+  std::uint64_t bcast(std::uint64_t value, int root);
+
+  // --- Pointer exchange -----------------------------------------------------
+
+  /// Collectively shares this node's base pointer under `key`; after the
+  /// internal barrier every node can fetch any peer's pointer.  Keys must
+  /// be used in the same order on all nodes.
+  void share_ptr(int key, void* ptr);
+  void* peer_ptr(int key, int proc) const;
+
+  template <typename T>
+  gptr<T> peer_gptr(int key, int proc) const {
+    return {proc, static_cast<T*>(peer_ptr(key, proc))};
+  }
+
+  // --- Computation charging -------------------------------------------------
+
+  void charge_flops(std::uint64_t n) {
+    charge_us(static_cast<double>(n) * cost_.us_per_flop);
+  }
+  void charge_int_ops(std::uint64_t n) {
+    charge_us(static_cast<double>(n) * cost_.us_per_int_op);
+  }
+  void charge_mem_bytes(std::uint64_t n) {
+    charge_us(static_cast<double>(n) * cost_.us_per_byte);
+  }
+  void charge_us(double us) {
+    ctx_.elapse(sim::usec(us * transport_.cpu_scale()));
+  }
+
+  // --- Phase-time accounting (paper Figure 4 instrumentation) --------------
+
+  /// Virtual time spent inside runtime communication calls since reset.
+  sim::Time comm_time() const { return comm_ns_; }
+  void reset_timers() { comm_ns_ = 0; }
+
+  /// Remote-writable reduction slots (used by peers' collectives).
+  std::uint64_t* redux_val_slot(int i) {
+    return &redux_vals_[static_cast<std::size_t>(i)];
+  }
+  std::uint64_t* redux_gen_slot(int i) {
+    return &redux_gens_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  friend class SplitCNet;
+
+  /// RAII bracket accumulating communication time (outermost scope only).
+  class CommScope {
+   public:
+    explicit CommScope(Runtime& rt) : rt_(rt), outer_(rt.comm_depth_++ == 0) {
+      if (outer_) t0_ = rt_.ctx_.now();
+    }
+    ~CommScope() {
+      --rt_.comm_depth_;
+      if (outer_) rt_.comm_ns_ += rt_.ctx_.now() - t0_;
+    }
+
+   private:
+    Runtime& rt_;
+    bool outer_;
+    sim::Time t0_ = 0;
+  };
+
+  sim::NodeCtx& ctx_;
+  Transport& transport_;
+  SplitCNet& net_;
+  CpuCost cost_;
+
+  // Barrier state (written remotely by peers).
+  std::vector<std::uint64_t> barrier_flags_;
+  std::uint64_t barrier_gen_ = 0;
+
+  // Reduction scratch (written remotely by peers).
+  std::vector<std::uint64_t> redux_vals_;
+  std::vector<std::uint64_t> redux_gens_;
+  std::uint64_t redux_gen_ = 0;
+
+  int comm_depth_ = 0;
+  sim::Time comm_ns_ = 0;
+};
+
+/// Collective owner of one Runtime per node, plus the shared directories
+/// the runtimes use for barriers/reductions/pointer exchange.
+class SplitCNet {
+ public:
+  /// `transports[i]` is node i's backend; all must agree on size().
+  SplitCNet(sim::World& world, std::vector<Transport*> transports,
+            CpuCost cost = {});
+
+  Runtime& rt(int node) { return *runtimes_.at(node); }
+  int size() const { return static_cast<int>(runtimes_.size()); }
+
+ private:
+  friend class Runtime;
+  std::vector<std::unique_ptr<Runtime>> runtimes_;
+  std::map<int, std::vector<void*>> ptr_directory_;
+};
+
+}  // namespace spam::splitc

@@ -1,0 +1,100 @@
+// Split-C "spread" arrays: a block-distributed 1-D array with global
+// indexing, the idiom the paper's Split-C benchmarks are written in
+// (all_spread allocations).  Each processor owns one contiguous block;
+// construction is collective and exchanges base pointers through the
+// runtime's directory.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "splitc/runtime.hpp"
+
+namespace spam::splitc {
+
+template <typename T>
+class Spread {
+ public:
+  /// Collective: every processor calls this with the same `key` and
+  /// `total`.  Storage is block-distributed: processor p owns global
+  /// indices [p*block, min((p+1)*block, total)).
+  Spread(Runtime& rt, int key, std::size_t total)
+      : rt_(rt),
+        total_(total),
+        block_((total + static_cast<std::size_t>(rt.procs()) - 1) /
+               static_cast<std::size_t>(rt.procs())) {
+    local_.assign(local_size(), T{});
+    rt_.share_ptr(key, local_.data());
+    key_ = key;
+  }
+
+  std::size_t size() const { return total_; }
+  std::size_t block() const { return block_; }
+
+  /// Owner of global index i.
+  int owner(std::size_t i) const {
+    assert(i < total_);
+    return static_cast<int>(i / block_);
+  }
+
+  /// Global pointer to element i (valid on any processor).
+  gptr<T> at(std::size_t i) const {
+    const int p = owner(i);
+    T* base = static_cast<T*>(rt_.peer_ptr(key_, p));
+    return {p, base + (i - static_cast<std::size_t>(p) * block_)};
+  }
+
+  /// This processor's slice.
+  T* local() { return local_.data(); }
+  const T* local() const { return local_.data(); }
+  std::size_t local_begin() const {
+    return static_cast<std::size_t>(rt_.my_proc()) * block_;
+  }
+  std::size_t local_size() const {
+    const std::size_t lo = local_begin();
+    return lo >= total_ ? 0 : std::min(block_, total_ - lo);
+  }
+
+  /// Blocking global element access.
+  T read(std::size_t i) { return rt_.read(at(i)); }
+  void write(std::size_t i, T v) { rt_.write(at(i), v); }
+
+  /// Split-phase element access (completes at rt.sync()).
+  void put(std::size_t i, T v) { rt_.put(at(i), v); }
+  void get(std::size_t i, T* out) { rt_.get(at(i), out); }
+
+  /// Bulk read of [i, i+count) into `out`; may span owners.
+  void bulk_read(T* out, std::size_t i, std::size_t count) {
+    while (count > 0) {
+      const int p = owner(i);
+      const std::size_t in_block =
+          std::min(count, (static_cast<std::size_t>(p) + 1) * block_ - i);
+      rt_.bulk_read(out, at(i), in_block);
+      out += in_block;
+      i += in_block;
+      count -= in_block;
+    }
+  }
+
+  /// Bulk write of [i, i+count) from `src`; may span owners.
+  void bulk_write(std::size_t i, const T* src, std::size_t count) {
+    while (count > 0) {
+      const int p = owner(i);
+      const std::size_t in_block =
+          std::min(count, (static_cast<std::size_t>(p) + 1) * block_ - i);
+      rt_.bulk_write(at(i), src, in_block);
+      src += in_block;
+      i += in_block;
+      count -= in_block;
+    }
+  }
+
+ private:
+  Runtime& rt_;
+  std::size_t total_;
+  std::size_t block_;
+  int key_ = 0;
+  std::vector<T> local_;
+};
+
+}  // namespace spam::splitc

@@ -1,0 +1,135 @@
+// Interrupt-driven reception (the paper's unused-but-available mode):
+// handlers fire during long computations, at the price of the interrupt
+// latency — quantifying why the paper's analysis sticks to polling.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "am/net.hpp"
+
+namespace spam::am {
+namespace {
+
+struct Fixture {
+  sim::World world;
+  sphw::SpMachine machine;
+  AmNet net;
+  explicit Fixture(AmParams amp, int nodes = 2)
+      : world(nodes), machine(world, sphw::SpParams::thin_node()),
+        net(machine, amp) {}
+};
+
+TEST(AmInterrupts, PollingModeStarvesHandlersDuringCompute) {
+  Fixture f(AmParams{});  // polling mode
+  std::vector<sim::Time> handled_at;
+  const int h = f.net.ep(1).register_handler(
+      [&](Endpoint& ep, Token, const Word*, int) {
+        handled_at.push_back(ep.ctx().now());
+      });
+  sim::Time compute_end = 0;
+  f.world.spawn(0, [&](sim::NodeCtx&) {
+    for (Word i = 0; i < 5; ++i) f.net.ep(0).request_1(1, h, i);
+  });
+  f.world.spawn(1, [&](sim::NodeCtx& ctx) {
+    f.net.ep(1).compute(20000.0);  // 20 ms of computation, no polling
+    compute_end = ctx.now();
+    f.net.ep(1).poll_until([&] { return handled_at.size() == 5; });
+  });
+  f.world.run();
+  for (sim::Time t : handled_at) {
+    EXPECT_GE(t, compute_end) << "polling mode must defer handlers";
+  }
+}
+
+TEST(AmInterrupts, InterruptModeServicesHandlersDuringCompute) {
+  AmParams amp;
+  amp.interrupt_driven = true;
+  Fixture f(amp);
+  std::vector<sim::Time> handled_at;
+  const int h = f.net.ep(1).register_handler(
+      [&](Endpoint& ep, Token, const Word*, int) {
+        handled_at.push_back(ep.ctx().now());
+      });
+  sim::Time compute_end = 0;
+  f.world.spawn(0, [&](sim::NodeCtx&) {
+    for (Word i = 0; i < 5; ++i) f.net.ep(0).request_1(1, h, i);
+  });
+  f.world.spawn(1, [&](sim::NodeCtx& ctx) {
+    f.net.ep(1).compute(20000.0);
+    compute_end = ctx.now();
+    f.net.ep(1).poll_until([&] { return handled_at.size() == 5; });
+  });
+  f.world.run();
+  ASSERT_EQ(handled_at.size(), 5u);
+  for (sim::Time t : handled_at) {
+    EXPECT_LT(t, compute_end) << "interrupts must service during compute";
+  }
+}
+
+TEST(AmInterrupts, InterruptServiceExtendsComputeTime) {
+  // The work still gets done: total elapsed = work + interrupt costs.
+  AmParams amp;
+  amp.interrupt_driven = true;
+  Fixture f(amp);
+  int handled = 0;
+  const int h = f.net.ep(1).register_handler(
+      [&](Endpoint&, Token, const Word*, int) { ++handled; });
+  sim::Time elapsed = 0;
+  const int n = 8;
+  f.world.spawn(0, [&](sim::NodeCtx&) {
+    for (Word i = 0; i < n; ++i) f.net.ep(0).request_1(1, h, i);
+  });
+  f.world.spawn(1, [&](sim::NodeCtx& ctx) {
+    const sim::Time t0 = ctx.now();
+    f.net.ep(1).compute(5000.0);
+    elapsed = ctx.now() - t0;
+    f.net.ep(1).poll_until([&] { return handled == n; });
+  });
+  f.world.run();
+  // At least the pure work, plus one interrupt latency per service pass.
+  EXPECT_GE(sim::to_usec(elapsed), 5000.0 + amp.interrupt_latency_us);
+  // But bounded: interrupts batch nearby arrivals.
+  EXPECT_LT(sim::to_usec(elapsed),
+            5000.0 + n * (amp.interrupt_latency_us + 60.0));
+}
+
+TEST(AmInterrupts, ComputeWithoutTrafficCostsExactlyTheWork) {
+  AmParams amp;
+  amp.interrupt_driven = true;
+  Fixture f(amp);
+  sim::Time elapsed = 0;
+  f.world.spawn(0, [&](sim::NodeCtx& ctx) {
+    const sim::Time t0 = ctx.now();
+    f.net.ep(0).compute(1234.5);
+    elapsed = ctx.now() - t0;
+  });
+  f.world.spawn(1, [&](sim::NodeCtx&) {});
+  f.world.run();
+  EXPECT_EQ(elapsed, sim::usec(1234.5));
+}
+
+TEST(AmInterrupts, BulkTransfersCompleteUnderInterruptMode) {
+  AmParams amp;
+  amp.interrupt_driven = true;
+  Fixture f(amp);
+  const std::size_t len = 100000;
+  std::vector<std::byte> src(len, std::byte{0x42}), dst(len);
+  bool done = false;
+  f.world.spawn(0, [&](sim::NodeCtx&) {
+    f.net.ep(0).store_async(1, dst.data(), src.data(), len, 0, 0,
+                            [&] { done = true; });
+    f.net.ep(0).poll_until([&] { return done; });
+  });
+  f.world.spawn(1, [&](sim::NodeCtx&) {
+    // The receiver computes the whole time; interrupts must service the
+    // incoming chunks (and send the per-chunk acks that keep the sender's
+    // window open).
+    while (!done) f.net.ep(1).compute(100.0);
+  });
+  f.world.run();
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+}
+
+}  // namespace
+}  // namespace spam::am

@@ -1,0 +1,174 @@
+// LogGP machine-model tests: parameter fidelity (Table 4 round-trips and
+// bandwidths), port serialization, receiver-debt accounting, message path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "logp/loggp.hpp"
+
+namespace spam::logp {
+namespace {
+
+/// Measures a put-flag ping-pong round-trip on the given machine.
+double ping_pong_rtt_us(LogGpParams params) {
+  sim::World w(2);
+  LogGpMachine m(w, params);
+  std::uint64_t flag0 = 0, flag1 = 0;
+  sim::Time rtt = 0;
+
+  w.spawn(0, [&](sim::NodeCtx& ctx) {
+    std::uint64_t one = 1;
+    // Warm-up.
+    m.ep(0).put_bytes(1, &flag1, &one, 8);
+    while (flag0 < 1) m.ep(0).poll();
+    const sim::Time t0 = ctx.now();
+    std::uint64_t two = 2;
+    m.ep(0).put_bytes(1, &flag1, &two, 8);
+    while (flag0 < 2) m.ep(0).poll();
+    rtt = ctx.now() - t0;
+  });
+  w.spawn(1, [&](sim::NodeCtx&) {
+    for (std::uint64_t v = 1; v <= 2; ++v) {
+      while (flag1 < v) m.ep(1).poll();
+      m.ep(1).put_bytes(0, &flag0, &v, 8);
+    }
+  });
+  w.run();
+  return sim::to_usec(rtt);
+}
+
+TEST(LogGp, Cm5RoundTripNearPaper) {
+  // Table 4: CM-5 round-trip 12 us.  The put path includes flag-poll
+  // quantization, so allow a band.
+  const double rtt = ping_pong_rtt_us(LogGpParams::cm5());
+  EXPECT_GT(rtt, 9.0);
+  EXPECT_LT(rtt, 17.0);
+}
+
+TEST(LogGp, MeikoRoundTripNearPaper) {
+  const double rtt = ping_pong_rtt_us(LogGpParams::meiko_cs2());
+  EXPECT_GT(rtt, 20.0);
+  EXPECT_LT(rtt, 32.0);
+}
+
+TEST(LogGp, UnetRoundTripNearPaper) {
+  const double rtt = ping_pong_rtt_us(LogGpParams::unet_atm());
+  EXPECT_GT(rtt, 58.0);
+  EXPECT_LT(rtt, 76.0);
+}
+
+double bulk_bandwidth_mbps(LogGpParams params, std::size_t len) {
+  sim::World w(2);
+  LogGpMachine m(w, params);
+  std::vector<std::byte> src(len, std::byte{1}), dst(len);
+  sim::Time elapsed = 0;
+  w.spawn(0, [&](sim::NodeCtx& ctx) {
+    const sim::Time t0 = ctx.now();
+    m.ep(0).put_bytes(1, dst.data(), src.data(), len);
+    while (m.ep(0).outstanding() > 0) m.ep(0).poll();
+    elapsed = ctx.now() - t0;
+  });
+  w.run();
+  return static_cast<double>(len) / sim::to_sec(elapsed) / 1e6;
+}
+
+TEST(LogGp, BandwidthMatchesGapParameter) {
+  // 1 MB transfers approach 1/G.
+  EXPECT_NEAR(bulk_bandwidth_mbps(LogGpParams::cm5(), 1 << 20), 10.0, 1.5);
+  EXPECT_NEAR(bulk_bandwidth_mbps(LogGpParams::meiko_cs2(), 1 << 20), 39.0,
+              4.0);
+  EXPECT_NEAR(bulk_bandwidth_mbps(LogGpParams::unet_atm(), 1 << 20), 14.0,
+              2.0);
+}
+
+TEST(LogGp, GetFetchesRemoteBytes) {
+  sim::World w(2);
+  LogGpMachine m(w, LogGpParams::cm5());
+  std::vector<std::byte> remote(1000);
+  for (std::size_t i = 0; i < remote.size(); ++i) {
+    remote[i] = static_cast<std::byte>(i & 0xff);
+  }
+  std::vector<std::byte> local(1000, std::byte{0});
+  w.spawn(0, [&](sim::NodeCtx&) {
+    m.ep(0).get_bytes(1, remote.data(), local.data(), remote.size());
+    while (m.ep(0).outstanding() > 0) m.ep(0).poll();
+  });
+  w.run();
+  EXPECT_EQ(std::memcmp(local.data(), remote.data(), remote.size()), 0);
+}
+
+TEST(LogGp, PortSerializesConcurrentPuts) {
+  // Two 100 KB puts from the same node must take ~2x one put's wire time.
+  LogGpParams p = LogGpParams::cm5();
+  const std::size_t len = 100000;
+  auto run = [&](int puts) {
+    sim::World w(3);
+    LogGpMachine m(w, p);
+    static std::vector<std::byte> src, d1, d2;
+    src.assign(len, std::byte{7});
+    d1.assign(len, std::byte{0});
+    d2.assign(len, std::byte{0});
+    sim::Time elapsed = 0;
+    w.spawn(0, [&, puts](sim::NodeCtx& ctx) {
+      const sim::Time t0 = ctx.now();
+      m.ep(0).put_bytes(1, d1.data(), src.data(), len);
+      if (puts == 2) m.ep(0).put_bytes(2, d2.data(), src.data(), len);
+      while (m.ep(0).outstanding() > 0) m.ep(0).poll();
+      elapsed = ctx.now() - t0;
+    });
+    w.run();
+    return elapsed;
+  };
+  const sim::Time one = run(1);
+  const sim::Time two = run(2);
+  EXPECT_GT(two, one + one / 2) << "port must serialize same-source puts";
+}
+
+TEST(LogGp, MessagePathDispatchesAtPoll) {
+  sim::World w(2);
+  LogGpMachine m(w, LogGpParams::cm5());
+  std::vector<std::uint64_t> got;
+  m.ep(1).set_handler([&](const LogGpMsg& msg) {
+    EXPECT_EQ(msg.src, 0);
+    got.push_back(msg.h[0]);
+  });
+  w.spawn(0, [&](sim::NodeCtx&) {
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      LogGpMsg msg;
+      msg.kind = 1;
+      msg.h[0] = i;
+      m.ep(0).send(1, std::move(msg));
+    }
+  });
+  w.spawn(1, [&](sim::NodeCtx&) {
+    while (got.size() < 5) m.ep(1).poll();
+  });
+  w.run();
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(LogGp, ReceiverDebtChargedAtPoll) {
+  sim::World w(2);
+  LogGpMachine m(w, LogGpParams::meiko_cs2());  // o_r = 5.5 us
+  std::uint64_t sink = 0;
+  sim::Time poll_cost = 0;
+  w.spawn(0, [&](sim::NodeCtx&) {
+    std::uint64_t v = 1;
+    for (int i = 0; i < 10; ++i) m.ep(0).put_bytes(1, &sink, &v, 8);
+    while (m.ep(0).outstanding() > 0) m.ep(0).poll();
+  });
+  w.spawn(1, [&](sim::NodeCtx& ctx) {
+    ctx.elapse(sim::usec(5000));  // let all ten arrive and accrue debt
+    const sim::Time t0 = ctx.now();
+    m.ep(1).poll();
+    poll_cost = ctx.now() - t0;
+  });
+  w.run();
+  // 10 messages x 5.5 us debt + poll cost itself.
+  EXPECT_GE(sim::to_usec(poll_cost), 55.0);
+  EXPECT_LT(sim::to_usec(poll_cost), 60.0);
+}
+
+}  // namespace
+}  // namespace spam::logp

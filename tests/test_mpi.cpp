@@ -1,0 +1,326 @@
+// Full-stack MPI tests, parameterized over the three implementations the
+// paper compares: optimized MPI-AM, unoptimized MPI-AM, and MPI-F.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "mpif/mpi_world.hpp"
+
+namespace spam::mpi {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 1) {
+  std::vector<std::byte> v(n);
+  sim::Rng rng(seed);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  return v;
+}
+
+MpiWorldConfig make_config(MpiImpl impl, int nodes) {
+  MpiWorldConfig cfg;
+  cfg.impl = impl;
+  cfg.nodes = nodes;
+  return cfg;
+}
+
+std::string impl_name(MpiImpl impl) {
+  switch (impl) {
+    case MpiImpl::kAmOptimized: return "AmOpt";
+    case MpiImpl::kAmUnoptimized: return "AmUnopt";
+    case MpiImpl::kMpiF: return "MpiF";
+  }
+  return "unknown";
+}
+
+class MpiImpls : public ::testing::TestWithParam<MpiImpl> {};
+
+class MpiImplsAndSizes
+    : public ::testing::TestWithParam<std::tuple<MpiImpl, std::size_t>> {};
+
+TEST_P(MpiImplsAndSizes, SendRecvRoundTripsBytes) {
+  const auto [impl, len] = GetParam();
+  MpiWorld w(make_config(impl, 2));
+  auto src = pattern(len);
+  std::vector<std::byte> dst(len + 8, std::byte{0});
+
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(src.data(), len, 1, 42);
+    } else {
+      Status st;
+      mpi.recv(dst.data(), len, 0, 42, &st);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 42);
+      EXPECT_EQ(st.bytes, len);
+    }
+  });
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+  for (std::size_t i = len; i < dst.size(); ++i) {
+    EXPECT_EQ(dst[i], std::byte{0});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, MpiImplsAndSizes,
+    ::testing::Combine(::testing::Values(MpiImpl::kAmOptimized,
+                                         MpiImpl::kAmUnoptimized,
+                                         MpiImpl::kMpiF),
+                       ::testing::Values(std::size_t{0}, std::size_t{1},
+                                         std::size_t{100}, std::size_t{1024},
+                                         std::size_t{4096}, std::size_t{4097},
+                                         std::size_t{8192}, std::size_t{8193},
+                                         std::size_t{16384},
+                                         std::size_t{20000},
+                                         std::size_t{100000})),
+    [](const auto& info) {
+      return impl_name(std::get<0>(info.param)) + "_len" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(MpiImpls, UnexpectedMessagesMatchLater) {
+  MpiWorld w(make_config(GetParam(), 2));
+  int a = 0, b = 0;
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      const int x = 1, y = 2;
+      mpi.send(&x, sizeof x, 1, 10);
+      mpi.send(&y, sizeof y, 1, 20);
+    } else {
+      mpi.ctx().elapse(sim::usec(2000));  // both arrive unexpected
+      // Receive in reverse tag order.
+      mpi.recv(&b, sizeof b, 0, 20);
+      mpi.recv(&a, sizeof a, 0, 10);
+    }
+  });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST_P(MpiImpls, NonOvertakingSameTag) {
+  MpiWorld w(make_config(GetParam(), 2));
+  std::vector<int> got;
+  w.run([&](Mpi& mpi) {
+    const int n = 50;
+    if (mpi.rank() == 0) {
+      for (int i = 0; i < n; ++i) mpi.send(&i, sizeof i, 1, 7);
+    } else {
+      for (int i = 0; i < n; ++i) {
+        int v = -1;
+        mpi.recv(&v, sizeof v, 0, 7);
+        got.push_back(v);
+      }
+    }
+  });
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST_P(MpiImpls, IsendIrecvOverlapBothDirections) {
+  MpiWorld w(make_config(GetParam(), 2));
+  const std::size_t len = 60000;  // rendez-vous territory
+  auto s0 = pattern(len, 1), s1 = pattern(len, 2);
+  std::vector<std::byte> r0(len), r1(len);
+  w.run([&](Mpi& mpi) {
+    const int other = 1 - mpi.rank();
+    auto& r = mpi.rank() == 0 ? r0 : r1;
+    const auto& s = mpi.rank() == 0 ? s0 : s1;
+    const int rr = mpi.irecv(r.data(), len, other, 3);
+    const int ss = mpi.isend(s.data(), len, other, 3);
+    mpi.wait(ss);
+    mpi.wait(rr);
+  });
+  EXPECT_EQ(std::memcmp(r0.data(), s1.data(), len), 0);
+  EXPECT_EQ(std::memcmp(r1.data(), s0.data(), len), 0);
+}
+
+TEST_P(MpiImpls, ManyEagerSendsExhaustAndRecycleBuffer) {
+  // 100 x 2 KB messages = far more than the 16 KB eager region: the free
+  // protocol must recycle space.
+  MpiWorld w(make_config(GetParam(), 2));
+  const std::size_t piece = 2048;
+  const int n = 100;
+  auto src = pattern(piece * n);
+  std::vector<std::byte> dst(piece * n);
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      for (int i = 0; i < n; ++i) {
+        mpi.send(src.data() + i * piece, piece, 1, i);
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        mpi.recv(dst.data() + i * piece, piece, 0, i);
+      }
+    }
+  });
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), src.size()), 0);
+}
+
+TEST_P(MpiImpls, SendrecvRing) {
+  const int nodes = 4;
+  MpiWorld w(make_config(GetParam(), nodes));
+  std::vector<int> out(nodes, -1);
+  w.run([&](Mpi& mpi) {
+    const int me = mpi.rank();
+    const int right = (me + 1) % nodes;
+    const int left = (me + nodes - 1) % nodes;
+    int token = me * 10;
+    int incoming = -1;
+    mpi.sendrecv(&token, sizeof token, right, 1, &incoming, sizeof incoming,
+                 left, 1);
+    out[me] = incoming;
+  });
+  for (int i = 0; i < nodes; ++i) {
+    EXPECT_EQ(out[i], ((i + nodes - 1) % nodes) * 10);
+  }
+}
+
+TEST_P(MpiImpls, BarrierBcastReduce) {
+  const int nodes = 8;
+  MpiWorld w(make_config(GetParam(), nodes));
+  w.run([&](Mpi& mpi) {
+    mpi.barrier();
+    double v = mpi.rank() == 2 ? 3.25 : 0.0;
+    mpi.bcast(&v, sizeof v, 2);
+    EXPECT_DOUBLE_EQ(v, 3.25);
+
+    const double mine = 1.0 + mpi.rank();
+    double sum = 0;
+    mpi.reduce(&mine, &sum, 1, Dtype::kDouble, ReduceOp::kSum, 0);
+    if (mpi.rank() == 0) {
+      EXPECT_DOUBLE_EQ(sum, 36.0);
+    }
+
+    double all = 0;
+    mpi.allreduce(&mine, &all, 1, Dtype::kDouble, ReduceOp::kMax);
+    EXPECT_DOUBLE_EQ(all, 8.0);
+
+    std::int64_t imin = 100 - mpi.rank();
+    std::int64_t rmin = 0;
+    mpi.allreduce(&imin, &rmin, 1, Dtype::kInt64, ReduceOp::kMin);
+    EXPECT_EQ(rmin, 93);
+  });
+}
+
+TEST_P(MpiImpls, AlltoallAndAllgather) {
+  const int nodes = 8;
+  MpiWorld w(make_config(GetParam(), nodes));
+  w.run([&](Mpi& mpi) {
+    const int me = mpi.rank();
+    std::vector<std::int32_t> send(nodes), recv(nodes, -1);
+    for (int i = 0; i < nodes; ++i) send[i] = me * 100 + i;
+    mpi.alltoall(send.data(), recv.data(), sizeof(std::int32_t));
+    for (int i = 0; i < nodes; ++i) EXPECT_EQ(recv[i], i * 100 + me);
+
+    std::int32_t mine = me + 1000;
+    std::vector<std::int32_t> gathered(nodes, -1);
+    mpi.allgather(&mine, sizeof mine, gathered.data());
+    for (int i = 0; i < nodes; ++i) EXPECT_EQ(gathered[i], i + 1000);
+  });
+}
+
+TEST_P(MpiImpls, GatherScatter) {
+  const int nodes = 4;
+  MpiWorld w(make_config(GetParam(), nodes));
+  w.run([&](Mpi& mpi) {
+    const int me = mpi.rank();
+    std::int32_t mine = me * 7;
+    std::vector<std::int32_t> all(nodes, -1);
+    mpi.gather(&mine, sizeof mine, all.data(), 1);
+    if (me == 1) {
+      for (int i = 0; i < nodes; ++i) EXPECT_EQ(all[i], i * 7);
+    }
+    std::vector<std::int32_t> src(nodes);
+    for (int i = 0; i < nodes; ++i) src[i] = 500 + i;
+    std::int32_t got = -1;
+    mpi.scatter(src.data(), sizeof got, &got, 1);
+    EXPECT_EQ(got, 500 + me);
+  });
+}
+
+TEST_P(MpiImpls, WildcardRecvAnySource) {
+  const int nodes = 4;
+  MpiWorld w(make_config(GetParam(), nodes));
+  w.run([&](Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      int sum = 0;
+      for (int i = 1; i < nodes; ++i) {
+        int v = 0;
+        Status st;
+        mpi.recv(&v, sizeof v, kAnySource, kAnyTag, &st);
+        EXPECT_EQ(st.source * 11, v);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 11 + 22 + 33);
+    } else {
+      const int v = mpi.rank() * 11;
+      mpi.send(&v, sizeof v, 0, mpi.rank());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Impls, MpiImpls,
+                         ::testing::Values(MpiImpl::kAmOptimized,
+                                           MpiImpl::kAmUnoptimized,
+                                           MpiImpl::kMpiF),
+                         [](const ::testing::TestParamInfo<MpiImpl>& info) {
+                           return impl_name(info.param);
+                         });
+
+TEST(MpiShapes, HybridAvoidsProtocolSwitchDiscontinuity) {
+  // MPI-F: a 5 KB message (rendez-vous) can be slower than a 4 KB one
+  // (eager).  MPI-AM's hybrid protocol must not regress across its switch.
+  auto hop_us = [](MpiImpl impl, std::size_t len) {
+    MpiWorld w(make_config(impl, 2));
+    static std::vector<std::byte> buf;
+    buf.assign(len, std::byte{1});
+    sim::Time t = 0;
+    w.run([&](Mpi& mpi) {
+      if (mpi.rank() == 0) {
+        // Warm-up + measured round.
+        for (int i = 0; i < 2; ++i) {
+          mpi.send(buf.data(), len, 1, 0);
+          mpi.recv(buf.data(), len, 1, 0);
+        }
+      } else {
+        const sim::Time t0 = mpi.ctx().now();
+        for (int i = 0; i < 2; ++i) {
+          mpi.recv(buf.data(), len, 0, 0);
+          mpi.send(buf.data(), len, 0, 0);
+        }
+        t = mpi.ctx().now() - t0;
+      }
+    });
+    return sim::to_usec(t) / 4.0;
+  };
+  // MPI-AM optimized: crossing the 8 KB switch must not cost extra.
+  const double below = hop_us(MpiImpl::kAmOptimized, 8 * 1024);
+  const double above = hop_us(MpiImpl::kAmOptimized, 9 * 1024);
+  EXPECT_LT(above, below * 1.35)
+      << "hybrid protocol should smooth the switch";
+  // MPI-F: crossing 4 KB pays the rendez-vous round-trip.
+  const double f_below = hop_us(MpiImpl::kMpiF, 4 * 1024);
+  const double f_above = hop_us(MpiImpl::kMpiF, 5 * 1024);
+  EXPECT_GT(f_above, f_below * 1.2)
+      << "MPI-F should show the documented discontinuity";
+}
+
+TEST(MpiShapes, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    MpiWorld w(make_config(MpiImpl::kAmOptimized, 4));
+    sim::Time end = 0;
+    w.run([&](Mpi& mpi) {
+      std::vector<double> v(1000, mpi.rank());
+      std::vector<double> r(1000);
+      mpi.allreduce(v.data(), r.data(), 1000, Dtype::kDouble, ReduceOp::kSum);
+      mpi.barrier();
+      if (mpi.rank() == 0) end = mpi.ctx().now();
+    });
+    return end;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace spam::mpi

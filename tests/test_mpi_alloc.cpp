@@ -1,0 +1,174 @@
+// Unit tests for the sender-side eager-buffer allocator (first-fit and
+// binned configurations) and for the MPI matching engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi/buffer_alloc.hpp"
+#include "mpi/match.hpp"
+#include "sim/rng.hpp"
+
+namespace spam::mpi {
+namespace {
+
+TEST(BufferAlloc, FirstFitAllocatesSequentially) {
+  BufferAllocator a(16 * 1024, /*binned=*/false);
+  const std::size_t o1 = a.alloc(1000);
+  const std::size_t o2 = a.alloc(2000);
+  EXPECT_EQ(o1, 0u);
+  EXPECT_EQ(o2, 1000u);
+  EXPECT_EQ(a.bytes_in_use(), 3000u);
+}
+
+TEST(BufferAlloc, FailsWhenFull) {
+  BufferAllocator a(16 * 1024, false);
+  EXPECT_NE(a.alloc(16 * 1024), BufferAllocator::kFail);
+  EXPECT_EQ(a.alloc(1), BufferAllocator::kFail);
+  EXPECT_EQ(a.stats().failures, 1u);
+}
+
+TEST(BufferAlloc, FreeCoalescesNeighbours) {
+  BufferAllocator a(16 * 1024, false);
+  const std::size_t o1 = a.alloc(4096);
+  const std::size_t o2 = a.alloc(4096);
+  const std::size_t o3 = a.alloc(4096);
+  const std::size_t o4 = a.alloc(4096);
+  EXPECT_EQ(a.alloc(1), BufferAllocator::kFail);
+  // Free out of order; coalescing must reassemble the whole region.
+  a.free(o2, 4096);
+  a.free(o4, 4096);
+  a.free(o3, 4096);
+  a.free(o1, 4096);
+  EXPECT_EQ(a.bytes_in_use(), 0u);
+  EXPECT_NE(a.alloc(16 * 1024), BufferAllocator::kFail);
+}
+
+TEST(BufferAlloc, BinnedFastPathServesSmall) {
+  BufferAllocator a(16 * 1024, /*binned=*/true);
+  std::vector<std::size_t> offs;
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t o = a.alloc(512);
+    ASSERT_NE(o, BufferAllocator::kFail);
+    offs.push_back(o);
+  }
+  EXPECT_EQ(a.stats().bin_allocs, 8u);
+  EXPECT_EQ(a.stats().fit_allocs, 0u);
+  // Ninth small alloc spills into first-fit.
+  EXPECT_NE(a.alloc(512), BufferAllocator::kFail);
+  EXPECT_EQ(a.stats().fit_allocs, 1u);
+  // Bin frees identified by offset.
+  for (std::size_t o : offs) a.free(o, 512);
+  EXPECT_EQ(a.alloc(100), offs[0]);
+}
+
+TEST(BufferAlloc, BinnedReducesSearchSteps) {
+  // The paper's rationale for the binned allocator: first-fit search cost
+  // grows with fragmentation; bins dodge it for small messages.
+  auto churn = [](bool binned) {
+    BufferAllocator a(16 * 1024, binned);
+    sim::Rng rng(7);
+    std::vector<std::pair<std::size_t, std::size_t>> live;
+    for (int i = 0; i < 4000; ++i) {
+      if (live.size() > 6 && rng.chance(0.6)) {
+        const std::size_t k = rng.next_below(live.size());
+        a.free(live[k].first, live[k].second);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+      } else {
+        const std::size_t len = 64 + rng.next_below(900);
+        const std::size_t o = a.alloc(len);
+        if (o != BufferAllocator::kFail) live.emplace_back(o, len);
+      }
+    }
+    return a.stats().fit_search_steps;
+  };
+  EXPECT_LT(churn(true), churn(false) / 2);
+}
+
+TEST(BufferAlloc, RandomChurnNeverOverlaps) {
+  // Property: live allocations never overlap and stay in range.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    BufferAllocator a(16 * 1024, seed % 2 == 0);
+    sim::Rng rng(seed);
+    std::vector<std::pair<std::size_t, std::size_t>> live;
+    for (int i = 0; i < 3000; ++i) {
+      if (!live.empty() && rng.chance(0.5)) {
+        const std::size_t k = rng.next_below(live.size());
+        a.free(live[k].first, live[k].second);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+      } else {
+        const std::size_t len = 1 + rng.next_below(3000);
+        const std::size_t o = a.alloc(len);
+        if (o == BufferAllocator::kFail) continue;
+        const std::size_t span = (a.binned() && o < 8 * 1024 && len <= 1024)
+                                     ? 1024
+                                     : len;
+        EXPECT_LE(o + span, a.total_bytes());
+        for (const auto& [lo, ll] : live) {
+          const std::size_t lspan =
+              (a.binned() && lo < 8 * 1024 && ll <= 1024) ? 1024 : ll;
+          EXPECT_TRUE(o + span <= lo || lo + lspan <= o)
+              << "overlap at " << o << "+" << span << " vs " << lo << "+"
+              << lspan;
+        }
+        live.emplace_back(o, len);
+      }
+    }
+  }
+}
+
+TEST(Match, PostedMatchesArrivalBySourceAndTag) {
+  MatchEngine m;
+  PostedRecv r;
+  r.req_id = 1;
+  r.src = 2;
+  r.tag = 5;
+  EXPECT_FALSE(m.post(r).has_value());
+  InMsg wrong;
+  wrong.src = 3;
+  wrong.tag = 5;
+  EXPECT_FALSE(m.arrive(wrong).has_value());  // wrong source: unexpected
+  InMsg right;
+  right.src = 2;
+  right.tag = 5;
+  auto matched = m.arrive(right);
+  ASSERT_TRUE(matched.has_value());
+  EXPECT_EQ(matched->req_id, 1);
+  EXPECT_EQ(m.unexpected_count(), 1u);
+}
+
+TEST(Match, WildcardsMatchInArrivalOrder) {
+  MatchEngine m;
+  for (int i = 0; i < 3; ++i) {
+    InMsg msg;
+    msg.src = i;
+    msg.tag = 9;
+    msg.cookie = static_cast<std::uint64_t>(i + 100);
+    EXPECT_FALSE(m.arrive(msg).has_value());
+  }
+  PostedRecv r;
+  r.src = kAnySource;
+  r.tag = kAnyTag;
+  auto a = m.post(r);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->cookie, 100u) << "must match the earliest unexpected";
+  auto b = m.post(r);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->cookie, 101u);
+}
+
+TEST(Match, PostedOrderRespectedForSameMatch) {
+  MatchEngine m;
+  PostedRecv r1{1, kAnySource, kAnyTag, nullptr, 0};
+  PostedRecv r2{2, kAnySource, kAnyTag, nullptr, 0};
+  m.post(r1);
+  m.post(r2);
+  InMsg msg;
+  msg.src = 0;
+  msg.tag = 0;
+  auto hit = m.arrive(msg);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->req_id, 1) << "earliest posted receive wins";
+}
+
+}  // namespace
+}  // namespace spam::mpi

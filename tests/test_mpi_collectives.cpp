@@ -1,0 +1,123 @@
+// Collective-algorithm correctness across node counts (including
+// non-powers-of-two, which exercise the binomial trees' guards) and both
+// the generic (MPICH) and tuned (MPI-F) schedules.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "mpif/mpi_world.hpp"
+
+namespace spam::mpi {
+namespace {
+
+struct Case {
+  MpiImpl impl;
+  int nodes;
+};
+
+class Collectives : public ::testing::TestWithParam<Case> {};
+
+MpiWorldConfig cfg_of(const Case& c) {
+  MpiWorldConfig cfg;
+  cfg.impl = c.impl;
+  cfg.nodes = c.nodes;
+  return cfg;
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  const Case c = GetParam();
+  MpiWorld w(cfg_of(c));
+  w.run([&](Mpi& mpi) {
+    for (int root = 0; root < c.nodes; ++root) {
+      std::int64_t v = mpi.rank() == root ? 4000 + root : -1;
+      mpi.bcast(&v, sizeof v, root);
+      EXPECT_EQ(v, 4000 + root) << "root=" << root << " rank=" << mpi.rank();
+    }
+  });
+}
+
+TEST_P(Collectives, ReduceToEveryRoot) {
+  const Case c = GetParam();
+  MpiWorld w(cfg_of(c));
+  const std::int64_t expect =
+      static_cast<std::int64_t>(c.nodes) * (c.nodes + 1) / 2;
+  w.run([&](Mpi& mpi) {
+    for (int root = 0; root < c.nodes; ++root) {
+      const std::int64_t mine = mpi.rank() + 1;
+      std::int64_t out = 0;
+      mpi.reduce(&mine, &out, 1, Dtype::kInt64, ReduceOp::kSum, root);
+      if (mpi.rank() == root) {
+        EXPECT_EQ(out, expect);
+      }
+    }
+  });
+}
+
+TEST_P(Collectives, AllreduceVectorSum) {
+  const Case c = GetParam();
+  MpiWorld w(cfg_of(c));
+  constexpr int kCount = 257;  // odd length, multi-packet payload
+  w.run([&](Mpi& mpi) {
+    std::vector<double> v(kCount), out(kCount);
+    for (int i = 0; i < kCount; ++i) v[i] = mpi.rank() + i * 0.5;
+    mpi.allreduce(v.data(), out.data(), kCount, Dtype::kDouble,
+                  ReduceOp::kSum);
+    const double ranksum = c.nodes * (c.nodes - 1) / 2.0;
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_DOUBLE_EQ(out[i], ranksum + c.nodes * i * 0.5) << i;
+    }
+  });
+}
+
+TEST_P(Collectives, AlltoallAndAllgatherAnyCount) {
+  const Case c = GetParam();
+  MpiWorld w(cfg_of(c));
+  w.run([&](Mpi& mpi) {
+    const int p = mpi.size();
+    const int me = mpi.rank();
+    std::vector<std::int32_t> s(p), r(p, -1);
+    for (int i = 0; i < p; ++i) s[i] = me * 1000 + i;
+    mpi.alltoall(s.data(), r.data(), sizeof(std::int32_t));
+    for (int i = 0; i < p; ++i) EXPECT_EQ(r[i], i * 1000 + me);
+
+    std::int32_t mine = me * 3;
+    std::vector<std::int32_t> all(p, -1);
+    mpi.allgather(&mine, sizeof mine, all.data());
+    for (int i = 0; i < p; ++i) EXPECT_EQ(all[i], i * 3);
+  });
+}
+
+TEST_P(Collectives, BarrierCountsAgree) {
+  const Case c = GetParam();
+  MpiWorld w(cfg_of(c));
+  std::vector<int> counter(static_cast<std::size_t>(c.nodes), 0);
+  w.run([&](Mpi& mpi) {
+    for (int round = 0; round < 5; ++round) {
+      ++counter[static_cast<std::size_t>(mpi.rank())];
+      mpi.barrier();
+      for (int i = 0; i < c.nodes; ++i) {
+        EXPECT_GE(counter[static_cast<std::size_t>(i)], round + 1);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NodeCounts, Collectives,
+    ::testing::Values(Case{MpiImpl::kAmOptimized, 2},
+                      Case{MpiImpl::kAmOptimized, 3},
+                      Case{MpiImpl::kAmOptimized, 5},
+                      Case{MpiImpl::kAmOptimized, 7},
+                      Case{MpiImpl::kAmOptimized, 8},
+                      Case{MpiImpl::kMpiF, 3},
+                      Case{MpiImpl::kMpiF, 6},
+                      Case{MpiImpl::kMpiF, 8}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::string(info.param.impl == MpiImpl::kMpiF ? "MpiF" : "AmOpt") +
+             "_n" + std::to_string(info.param.nodes);
+    });
+
+}  // namespace
+}  // namespace spam::mpi

@@ -1,0 +1,161 @@
+// Protocol-selection and device-internals tests for MPI-over-AM: which wire
+// protocol each message size takes, buffer accounting, free batching,
+// hybrid prefix behaviour including the early-prefix (unexpected) path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mpif/mpi_world.hpp"
+
+namespace spam::mpi {
+namespace {
+
+struct Fixture {
+  sim::World world;
+  sphw::SpMachine machine;
+  am::AmNet amnet;
+  MpiAmNet net;
+  Fixture(int nodes, MpiAmConfig cfg, std::uint64_t seed = 1)
+      : world(nodes, seed),
+        machine(world, sphw::SpParams::thin_node()),
+        amnet(machine),
+        net(amnet, cfg) {}
+};
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed = 1) {
+  std::vector<std::byte> v(n);
+  sim::Rng rng(seed);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  return v;
+}
+
+void exchange(Fixture& f, std::size_t len) {
+  auto src = pattern(len);
+  static std::vector<std::byte> dst;
+  dst.assign(len, std::byte{0});
+  f.world.spawn(0, [&](sim::NodeCtx&) {
+    f.net.mpi(0).send(src.data(), len, 1, 0);
+  });
+  f.world.spawn(1, [&](sim::NodeCtx&) {
+    f.net.mpi(1).recv(dst.data(), len, 0, 0);
+  });
+  f.world.run();
+  ASSERT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+}
+
+TEST(MpiProtocol, SmallMessageTakesEagerPath) {
+  Fixture f(2, MpiAmConfig::opt());
+  exchange(f, 100);
+  EXPECT_EQ(f.net.mpi(0).dev_stats().eager_sends, 1u);
+  EXPECT_EQ(f.net.mpi(0).dev_stats().rdv_sends, 0u);
+  EXPECT_EQ(f.net.mpi(0).dev_stats().hybrid_sends, 0u);
+}
+
+TEST(MpiProtocol, LargeMessageTakesHybridPathWhenOptimized) {
+  Fixture f(2, MpiAmConfig::opt());
+  exchange(f, 50000);
+  EXPECT_EQ(f.net.mpi(0).dev_stats().eager_sends, 0u);
+  EXPECT_EQ(f.net.mpi(0).dev_stats().hybrid_sends, 1u);
+}
+
+TEST(MpiProtocol, LargeMessageTakesPureRdvWhenUnoptimized) {
+  Fixture f(2, MpiAmConfig::unopt());
+  exchange(f, 50000);
+  EXPECT_EQ(f.net.mpi(0).dev_stats().eager_sends, 0u);
+  EXPECT_EQ(f.net.mpi(0).dev_stats().hybrid_sends, 0u);
+  EXPECT_EQ(f.net.mpi(0).dev_stats().rdv_sends, 1u);
+}
+
+TEST(MpiProtocol, UnoptimizedSwitchesAtSixteenK) {
+  Fixture f(2, MpiAmConfig::unopt());
+  exchange(f, 12000);  // under the 16 KB switch: still eager
+  EXPECT_EQ(f.net.mpi(0).dev_stats().eager_sends, 1u);
+  EXPECT_EQ(f.net.mpi(0).dev_stats().rdv_sends, 0u);
+}
+
+TEST(MpiProtocol, HybridPrefixArrivingBeforeRecvIsStashed) {
+  // Delay the receiver so announcement + prefix are both unexpected, then
+  // post the receive: the stashed prefix must land correctly.
+  Fixture f(2, MpiAmConfig::opt());
+  const std::size_t len = 40000;
+  auto src = pattern(len, 5);
+  std::vector<std::byte> dst(len, std::byte{0});
+  f.world.spawn(0, [&](sim::NodeCtx&) {
+    f.net.mpi(0).send(src.data(), len, 1, 3);
+  });
+  f.world.spawn(1, [&](sim::NodeCtx& ctx) {
+    ctx.elapse(sim::usec(20000));  // everything arrives before the post
+    f.net.mpi(1).recv(dst.data(), len, 0, 3);
+  });
+  f.world.run();
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+  EXPECT_EQ(f.net.mpi(0).dev_stats().hybrid_sends, 1u);
+}
+
+TEST(MpiProtocol, EagerBufferBlocksThenRecycles) {
+  // Saturate the eager region with unconsumed messages; the sender must
+  // block (pending queue), then drain as the receiver consumes.
+  Fixture f(2, MpiAmConfig::opt());
+  const std::size_t piece = 3000;
+  const int n = 30;
+  auto src = pattern(piece * n);
+  std::vector<std::byte> dst(piece * n, std::byte{0});
+  f.world.spawn(0, [&](sim::NodeCtx&) {
+    for (int i = 0; i < n; ++i) {
+      f.net.mpi(0).send(src.data() + i * piece, piece, 1, i);
+    }
+  });
+  f.world.spawn(1, [&](sim::NodeCtx& ctx) {
+    ctx.elapse(sim::usec(30000));  // let the region fill
+    for (int i = 0; i < n; ++i) {
+      f.net.mpi(1).recv(dst.data() + i * piece, piece, 0, i);
+    }
+  });
+  f.world.run();
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), src.size()), 0);
+  EXPECT_GT(f.net.mpi(0).dev_stats().sends_blocked_on_buffer, 0u);
+  EXPECT_GT(f.net.mpi(1).dev_stats().free_msgs, 0u);
+}
+
+TEST(MpiProtocol, BatchedFreesSendFewerMessagesThanPerBuffer) {
+  auto free_msgs = [](bool batch) {
+    MpiAmConfig cfg = MpiAmConfig::opt();
+    cfg.batch_frees = batch;
+    Fixture f(2, cfg);
+    const std::size_t piece = 512;
+    const int n = 60;
+    auto src = pattern(piece * n);
+    static std::vector<std::byte> dst;
+    dst.assign(piece * n, std::byte{0});
+    f.world.spawn(0, [&](sim::NodeCtx&) {
+      for (int i = 0; i < n; ++i) {
+        f.net.mpi(0).send(src.data() + i * piece, piece, 1, 0);
+      }
+    });
+    f.world.spawn(1, [&](sim::NodeCtx&) {
+      for (int i = 0; i < n; ++i) {
+        f.net.mpi(1).recv(dst.data() + i * piece, piece, 0, 0);
+      }
+    });
+    f.world.run();
+    return f.net.mpi(1).dev_stats().free_msgs;
+  };
+  const auto batched = free_msgs(true);
+  const auto unbatched = free_msgs(false);
+  EXPECT_EQ(unbatched, 60u) << "unoptimized: one free per buffer";
+  EXPECT_LT(batched, unbatched) << "optimized frees must combine";
+}
+
+TEST(MpiProtocol, ZeroEagerMaxForcesRendezvousForEverything) {
+  MpiAmConfig cfg = MpiAmConfig::opt();
+  cfg.eager_max = 0;
+  cfg.hybrid = false;
+  Fixture f(2, cfg);
+  exchange(f, 64);
+  EXPECT_EQ(f.net.mpi(0).dev_stats().rdv_sends, 1u);
+  EXPECT_EQ(f.net.mpi(0).dev_stats().eager_sends, 0u);
+}
+
+}  // namespace
+}  // namespace spam::mpi

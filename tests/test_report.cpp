@@ -1,0 +1,75 @@
+// Tests for the reporting helpers: r-infinity / n-1/2 extraction and table
+// formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "report/report.hpp"
+
+namespace spam::report {
+namespace {
+
+std::vector<BwPoint> synthetic_curve(double r_inf, double c_us) {
+  // BW(n) = n / (c + n/r_inf)  [bytes/us == MB/s with these units]
+  std::vector<BwPoint> v;
+  for (std::size_t n = 16; n <= (1u << 20); n *= 2) {
+    const double bw = static_cast<double>(n) /
+                      (c_us + static_cast<double>(n) / r_inf);
+    v.push_back({n, bw});
+  }
+  return v;
+}
+
+TEST(Report, RInfinityRecoversAsymptote) {
+  const auto curve = synthetic_curve(34.3, 8.0);
+  EXPECT_NEAR(r_infinity(curve), 34.3, 1.0);
+}
+
+TEST(Report, NHalfMatchesClosedForm) {
+  // For BW(n) = n/(c + n/r), half power is exactly n = c*r.
+  for (double c : {2.0, 8.0, 52.0}) {
+    const auto curve = synthetic_curve(34.3, c);
+    const double expect = c * 34.3;
+    const double got = n_half(curve);
+    EXPECT_NEAR(got, expect, expect * 0.30)
+        << "c=" << c << " expected~" << expect << " got " << got;
+  }
+}
+
+TEST(Report, NHalfMonotoneInOverhead) {
+  const double small = n_half(synthetic_curve(34.3, 4.0));
+  const double big = n_half(synthetic_curve(34.3, 40.0));
+  EXPECT_GT(big, 5.0 * small);
+}
+
+TEST(Report, EmptyCurveSafe) {
+  std::vector<BwPoint> none;
+  EXPECT_EQ(r_infinity(none), 0.0);
+  EXPECT_EQ(n_half(none), 0.0);
+}
+
+TEST(Report, TablePrintsAllCells) {
+  Table t("unit");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  char buf[4096] = {0};
+  std::FILE* f = fmemopen(buf, sizeof buf, "w");
+  ASSERT_NE(f, nullptr);
+  t.print(f);
+  std::fclose(f);
+  const std::string s(buf);
+  EXPECT_NE(s.find("unit"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(fmt(1.25, 1), "1.2");
+  EXPECT_EQ(fmt_us(51.04), "51.0 us");
+  EXPECT_EQ(fmt_mbps(34.27), "34.3 MB/s");
+  EXPECT_EQ(fmt_bytes(260.4), "260 B");
+}
+
+}  // namespace
+}  // namespace spam::report
