@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hybrid_prefix.dir/bench_ablation_hybrid_prefix.cpp.o"
+  "CMakeFiles/bench_ablation_hybrid_prefix.dir/bench_ablation_hybrid_prefix.cpp.o.d"
+  "bench_ablation_hybrid_prefix"
+  "bench_ablation_hybrid_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hybrid_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

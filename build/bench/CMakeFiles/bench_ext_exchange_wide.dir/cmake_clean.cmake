@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_exchange_wide.dir/bench_ext_exchange_wide.cpp.o"
+  "CMakeFiles/bench_ext_exchange_wide.dir/bench_ext_exchange_wide.cpp.o.d"
+  "bench_ext_exchange_wide"
+  "bench_ext_exchange_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_exchange_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_interrupts.dir/bench_ext_interrupts.cpp.o"
+  "CMakeFiles/bench_ext_interrupts.dir/bench_ext_interrupts.cpp.o.d"
+  "bench_ext_interrupts"
+  "bench_ext_interrupts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

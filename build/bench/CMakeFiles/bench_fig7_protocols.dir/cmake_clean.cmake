@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_protocols.dir/bench_fig7_protocols.cpp.o"
+  "CMakeFiles/bench_fig7_protocols.dir/bench_fig7_protocols.cpp.o.d"
+  "bench_fig7_protocols"
+  "bench_fig7_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_9_mpi_thin.dir/bench_fig8_9_mpi_thin.cpp.o"
+  "CMakeFiles/bench_fig8_9_mpi_thin.dir/bench_fig8_9_mpi_thin.cpp.o.d"
+  "bench_fig8_9_mpi_thin"
+  "bench_fig8_9_mpi_thin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_mpi_thin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_machines.dir/bench_table4_machines.cpp.o"
+  "CMakeFiles/bench_table4_machines.dir/bench_table4_machines.cpp.o.d"
+  "bench_table4_machines"
+  "bench_table4_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_splitc.dir/bench_table5_splitc.cpp.o"
+  "CMakeFiles/bench_table5_splitc.dir/bench_table5_splitc.cpp.o.d"
+  "bench_table5_splitc"
+  "bench_table5_splitc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_splitc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

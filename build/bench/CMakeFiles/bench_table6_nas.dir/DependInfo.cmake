@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6_nas.cpp" "bench/CMakeFiles/bench_table6_nas.dir/bench_table6_nas.cpp.o" "gcc" "bench/CMakeFiles/bench_table6_nas.dir/bench_table6_nas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/spam_bench_micro.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/spam_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/spam_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpif/CMakeFiles/spam_mpif.dir/DependInfo.cmake"
+  "/root/repo/build/src/splitc/CMakeFiles/spam_splitc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpl/CMakeFiles/spam_mpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/logp/CMakeFiles/spam_logp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/spam_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/am/CMakeFiles/spam_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/sphw/CMakeFiles/spam_sphw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_nas.dir/bench_table6_nas.cpp.o"
+  "CMakeFiles/bench_table6_nas.dir/bench_table6_nas.cpp.o.d"
+  "bench_table6_nas"
+  "bench_table6_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_bench_micro.dir/micro.cpp.o"
+  "CMakeFiles/spam_bench_micro.dir/micro.cpp.o.d"
+  "libspam_bench_micro.a"
+  "libspam_bench_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_bench_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_fault_injection.dir/am_fault_injection.cpp.o"
+  "CMakeFiles/am_fault_injection.dir/am_fault_injection.cpp.o.d"
+  "am_fault_injection"
+  "am_fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitc_sort.dir/splitc_sort.cpp.o"
+  "CMakeFiles/splitc_sort.dir/splitc_sort.cpp.o.d"
+  "splitc_sort"
+  "splitc_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitc_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

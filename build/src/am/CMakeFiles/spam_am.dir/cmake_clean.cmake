@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_am.dir/endpoint.cpp.o"
+  "CMakeFiles/spam_am.dir/endpoint.cpp.o.d"
+  "libspam_am.a"
+  "libspam_am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

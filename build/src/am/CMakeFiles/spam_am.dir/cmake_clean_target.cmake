@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspam_am.a"
+)

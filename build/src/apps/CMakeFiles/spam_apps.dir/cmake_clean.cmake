@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_apps.dir/nas.cpp.o"
+  "CMakeFiles/spam_apps.dir/nas.cpp.o.d"
+  "CMakeFiles/spam_apps.dir/splitc_apps.cpp.o"
+  "CMakeFiles/spam_apps.dir/splitc_apps.cpp.o.d"
+  "libspam_apps.a"
+  "libspam_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

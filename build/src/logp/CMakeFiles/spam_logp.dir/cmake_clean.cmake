@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_logp.dir/loggp.cpp.o"
+  "CMakeFiles/spam_logp.dir/loggp.cpp.o.d"
+  "libspam_logp.a"
+  "libspam_logp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_logp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

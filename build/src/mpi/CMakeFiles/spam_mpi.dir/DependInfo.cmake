@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/am_device.cpp" "src/mpi/CMakeFiles/spam_mpi.dir/am_device.cpp.o" "gcc" "src/mpi/CMakeFiles/spam_mpi.dir/am_device.cpp.o.d"
+  "/root/repo/src/mpi/buffer_alloc.cpp" "src/mpi/CMakeFiles/spam_mpi.dir/buffer_alloc.cpp.o" "gcc" "src/mpi/CMakeFiles/spam_mpi.dir/buffer_alloc.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/spam_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/spam_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/match.cpp" "src/mpi/CMakeFiles/spam_mpi.dir/match.cpp.o" "gcc" "src/mpi/CMakeFiles/spam_mpi.dir/match.cpp.o.d"
+  "/root/repo/src/mpi/mpi.cpp" "src/mpi/CMakeFiles/spam_mpi.dir/mpi.cpp.o" "gcc" "src/mpi/CMakeFiles/spam_mpi.dir/mpi.cpp.o.d"
+  "/root/repo/src/mpi/types.cpp" "src/mpi/CMakeFiles/spam_mpi.dir/types.cpp.o" "gcc" "src/mpi/CMakeFiles/spam_mpi.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/am/CMakeFiles/spam_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/sphw/CMakeFiles/spam_sphw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spam_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_mpi.dir/am_device.cpp.o"
+  "CMakeFiles/spam_mpi.dir/am_device.cpp.o.d"
+  "CMakeFiles/spam_mpi.dir/buffer_alloc.cpp.o"
+  "CMakeFiles/spam_mpi.dir/buffer_alloc.cpp.o.d"
+  "CMakeFiles/spam_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/spam_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/spam_mpi.dir/match.cpp.o"
+  "CMakeFiles/spam_mpi.dir/match.cpp.o.d"
+  "CMakeFiles/spam_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/spam_mpi.dir/mpi.cpp.o.d"
+  "CMakeFiles/spam_mpi.dir/types.cpp.o"
+  "CMakeFiles/spam_mpi.dir/types.cpp.o.d"
+  "libspam_mpi.a"
+  "libspam_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_mpif.dir/mpif.cpp.o"
+  "CMakeFiles/spam_mpif.dir/mpif.cpp.o.d"
+  "libspam_mpif.a"
+  "libspam_mpif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_mpif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_mpl.dir/mpl.cpp.o"
+  "CMakeFiles/spam_mpl.dir/mpl.cpp.o.d"
+  "libspam_mpl.a"
+  "libspam_mpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_mpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_report.dir/report.cpp.o"
+  "CMakeFiles/spam_report.dir/report.cpp.o.d"
+  "libspam_report.a"
+  "libspam_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

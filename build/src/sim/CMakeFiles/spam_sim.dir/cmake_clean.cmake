@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_sim.dir/engine.cpp.o"
+  "CMakeFiles/spam_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/spam_sim.dir/fiber.cpp.o"
+  "CMakeFiles/spam_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/spam_sim.dir/world.cpp.o"
+  "CMakeFiles/spam_sim.dir/world.cpp.o.d"
+  "libspam_sim.a"
+  "libspam_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_sphw.dir/adapter.cpp.o"
+  "CMakeFiles/spam_sphw.dir/adapter.cpp.o.d"
+  "CMakeFiles/spam_sphw.dir/switch.cpp.o"
+  "CMakeFiles/spam_sphw.dir/switch.cpp.o.d"
+  "libspam_sphw.a"
+  "libspam_sphw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_sphw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

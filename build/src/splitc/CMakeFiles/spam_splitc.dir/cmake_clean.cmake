@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_splitc.dir/am_backend.cpp.o"
+  "CMakeFiles/spam_splitc.dir/am_backend.cpp.o.d"
+  "CMakeFiles/spam_splitc.dir/mpl_backend.cpp.o"
+  "CMakeFiles/spam_splitc.dir/mpl_backend.cpp.o.d"
+  "CMakeFiles/spam_splitc.dir/runtime.cpp.o"
+  "CMakeFiles/spam_splitc.dir/runtime.cpp.o.d"
+  "libspam_splitc.a"
+  "libspam_splitc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_splitc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_am_basic.dir/test_am_basic.cpp.o"
+  "CMakeFiles/test_am_basic.dir/test_am_basic.cpp.o.d"
+  "test_am_basic"
+  "test_am_basic.pdb"
+  "test_am_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_am_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_am_bulk.dir/test_am_bulk.cpp.o"
+  "CMakeFiles/test_am_bulk.dir/test_am_bulk.cpp.o.d"
+  "test_am_bulk"
+  "test_am_bulk.pdb"
+  "test_am_bulk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_am_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_am_flowcontrol.dir/test_am_flowcontrol.cpp.o"
+  "CMakeFiles/test_am_flowcontrol.dir/test_am_flowcontrol.cpp.o.d"
+  "test_am_flowcontrol"
+  "test_am_flowcontrol.pdb"
+  "test_am_flowcontrol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_am_flowcontrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_am_interrupts.dir/test_am_interrupts.cpp.o"
+  "CMakeFiles/test_am_interrupts.dir/test_am_interrupts.cpp.o.d"
+  "test_am_interrupts"
+  "test_am_interrupts.pdb"
+  "test_am_interrupts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_am_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

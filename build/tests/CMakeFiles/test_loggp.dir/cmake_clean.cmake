@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loggp.dir/test_loggp.cpp.o"
+  "CMakeFiles/test_loggp.dir/test_loggp.cpp.o.d"
+  "test_loggp"
+  "test_loggp.pdb"
+  "test_loggp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loggp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

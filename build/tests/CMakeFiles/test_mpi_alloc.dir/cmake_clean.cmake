@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_alloc.dir/test_mpi_alloc.cpp.o"
+  "CMakeFiles/test_mpi_alloc.dir/test_mpi_alloc.cpp.o.d"
+  "test_mpi_alloc"
+  "test_mpi_alloc.pdb"
+  "test_mpi_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

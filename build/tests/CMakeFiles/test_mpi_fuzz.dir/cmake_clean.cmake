@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_fuzz.dir/test_mpi_fuzz.cpp.o"
+  "CMakeFiles/test_mpi_fuzz.dir/test_mpi_fuzz.cpp.o.d"
+  "test_mpi_fuzz"
+  "test_mpi_fuzz.pdb"
+  "test_mpi_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_protocols.dir/test_mpi_protocols.cpp.o"
+  "CMakeFiles/test_mpi_protocols.dir/test_mpi_protocols.cpp.o.d"
+  "test_mpi_protocols"
+  "test_mpi_protocols.pdb"
+  "test_mpi_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

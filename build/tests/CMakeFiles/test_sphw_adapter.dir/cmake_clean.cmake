@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sphw_adapter.dir/test_sphw_adapter.cpp.o"
+  "CMakeFiles/test_sphw_adapter.dir/test_sphw_adapter.cpp.o.d"
+  "test_sphw_adapter"
+  "test_sphw_adapter.pdb"
+  "test_sphw_adapter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sphw_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sphw_edge.dir/test_sphw_edge.cpp.o"
+  "CMakeFiles/test_sphw_edge.dir/test_sphw_edge.cpp.o.d"
+  "test_sphw_edge"
+  "test_sphw_edge.pdb"
+  "test_sphw_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sphw_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_splitc_spread.dir/test_splitc_spread.cpp.o"
+  "CMakeFiles/test_splitc_spread.dir/test_splitc_spread.cpp.o.d"
+  "test_splitc_spread"
+  "test_splitc_spread.pdb"
+  "test_splitc_spread[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_splitc_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

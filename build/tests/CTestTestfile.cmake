@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_fiber[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_world[1]_include.cmake")
+include("/root/repo/build/tests/test_sphw_adapter[1]_include.cmake")
+include("/root/repo/build/tests/test_sphw_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_am_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_am_bulk[1]_include.cmake")
+include("/root/repo/build/tests/test_am_flowcontrol[1]_include.cmake")
+include("/root/repo/build/tests/test_am_interrupts[1]_include.cmake")
+include("/root/repo/build/tests/test_mpl[1]_include.cmake")
+include("/root/repo/build/tests/test_loggp[1]_include.cmake")
+include("/root/repo/build/tests/test_splitc[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_alloc[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_splitc_spread[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_fuzz[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spamsim.dir/spamsim.cpp.o"
+  "CMakeFiles/spamsim.dir/spamsim.cpp.o.d"
+  "spamsim"
+  "spamsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spamsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
