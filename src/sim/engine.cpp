@@ -1,21 +1,26 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace spam::sim {
 
 void Engine::at(Time t, Action fn) {
   if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  queue_.push_back(Event{t, next_seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 bool Engine::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the handle cheaply by swapping through a local.
-  Event ev = queue_.top();
-  queue_.pop();
+  // pop_heap moves the earliest event to the back, where it can be moved
+  // out instead of copied (priority_queue::top() is const and forced a
+  // copy of the event, including its heap-backed closure).
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
   now_ = ev.t;
+  ++executed_;
   ev.fn();
   return true;
 }
@@ -30,7 +35,8 @@ std::uint64_t Engine::run() {
 std::uint64_t Engine::run_until(Time deadline) {
   stopped_ = false;
   std::uint64_t n = 0;
-  while (!stopped_ && !queue_.empty() && queue_.top().t <= deadline && step()) {
+  while (!stopped_ && !queue_.empty() && queue_.front().t <= deadline &&
+         step()) {
     ++n;
   }
   return n;

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -49,6 +48,9 @@ class Engine {
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
 
+  /// Total events executed since construction (monotonic; host-perf metric).
+  std::uint64_t events_executed() const { return executed_; }
+
  private:
   struct Event {
     Time t;
@@ -62,9 +64,12 @@ class Engine {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Explicit heap (std::push_heap/std::pop_heap over a vector) instead of
+  // std::priority_queue: pop can move the event out rather than copy it.
+  std::vector<Event> queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
   bool stopped_ = false;
 };
 
