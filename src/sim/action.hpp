@@ -1,0 +1,132 @@
+// InlineAction: the engine's move-only callable with small-buffer storage.
+//
+// Every simulated event carries one of these.  std::function forced a heap
+// allocation for any closure above ~16 bytes — and the hot closures of the
+// hardware models capture a whole Packet — so the event loop paid at least
+// one malloc/free per event.  InlineAction stores closures up to
+// kInlineBytes directly inside the event node; larger ones fall back to the
+// heap and are counted (Engine::pool_stats() exposes the counter, and the
+// hot paths static_assert fits_inline so the fallback never fires there).
+//
+// Semantics: move-only, one-shot-friendly (invocation does not reset it),
+// empty after being moved from.  Not thread-safe, like the engine itself.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace spam::sim {
+
+class InlineAction {
+ public:
+  /// Inline storage budget.  Sized so the largest hot closure — a Packet
+  /// (with its ref-counted payload handle) plus a couple of pointers —
+  /// fits without touching the heap.  The issue floor is 48 bytes.
+  static constexpr std::size_t kInlineBytes = 120;
+
+  /// True if a callable of type F is stored inline (no heap allocation).
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(std::decay_t<F>) <= kInlineBytes &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  InlineAction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineAction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineAction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Fn>;
+      ++heap_fallbacks_;
+    }
+  }
+
+  InlineAction(InlineAction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() {
+    assert(ops_ != nullptr && "invoking an empty InlineAction");
+    ops_->invoke(storage_);
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Process-wide count of closures that did not fit inline (monotonic).
+  static std::uint64_t heap_fallbacks() noexcept { return heap_fallbacks_; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) /*noexcept*/;  // move + destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); },
+  };
+
+  static inline std::uint64_t heap_fallbacks_ = 0;
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace spam::sim

@@ -5,23 +5,90 @@
 
 namespace spam::sim {
 
+Engine::Node* Engine::acquire() {
+  if (free_list_ == nullptr) {
+    blocks_.push_back(std::make_unique<Node[]>(kBlockNodes));
+    Node* block = blocks_.back().get();
+    for (std::size_t i = 0; i < kBlockNodes; ++i) {
+      block[i].next_free = free_list_;
+      free_list_ = &block[i];
+    }
+    nodes_allocated_ += kBlockNodes;
+    nodes_free_ += kBlockNodes;
+  }
+  Node* n = free_list_;
+  free_list_ = n->next_free;
+  --nodes_free_;
+  return n;
+}
+
+void Engine::release(Node* n) {
+  // The action has been moved out (or never set); the node slot is clean.
+  n->next_free = free_list_;
+  free_list_ = n;
+  ++nodes_free_;
+}
+
+void Engine::sift_up(std::size_t i) {
+  Node* n = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(n, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = n;
+}
+
+void Engine::sift_down(std::size_t i) {
+  const std::size_t size = heap_.size();
+  Node* n = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= size) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, size);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], n)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = n;
+}
+
+Engine::Node* Engine::pop_min() {
+  Node* top = heap_[0];
+  Node* last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    sift_down(0);
+  }
+  return top;
+}
+
 void Engine::at(Time t, Action fn) {
   if (t < now_) t = now_;
-  queue_.push_back(Event{t, next_seq_++, std::move(fn)});
-  std::push_heap(queue_.begin(), queue_.end(), Later{});
+  Node* n = acquire();
+  n->t = t;
+  n->seq = next_seq_++;
+  n->fn = std::move(fn);
+  heap_.push_back(n);
+  sift_up(heap_.size() - 1);
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  // pop_heap moves the earliest event to the back, where it can be moved
-  // out instead of copied (priority_queue::top() is const and forced a
-  // copy of the event, including its heap-backed closure).
-  std::pop_heap(queue_.begin(), queue_.end(), Later{});
-  Event ev = std::move(queue_.back());
-  queue_.pop_back();
-  now_ = ev.t;
+  if (heap_.empty()) return false;
+  Node* n = pop_min();
+  now_ = n->t;
   ++executed_;
-  ev.fn();
+  // Move the action out and recycle the node *before* invoking: the event
+  // body usually schedules the next event, which then reuses this hot node.
+  Action fn = std::move(n->fn);
+  release(n);
+  fn();
   return true;
 }
 
@@ -35,8 +102,7 @@ std::uint64_t Engine::run() {
 std::uint64_t Engine::run_until(Time deadline) {
   stopped_ = false;
   std::uint64_t n = 0;
-  while (!stopped_ && !queue_.empty() && queue_.front().t <= deadline &&
-         step()) {
+  while (!stopped_ && !heap_.empty() && heap_[0]->t <= deadline && step()) {
     ++n;
   }
   return n;

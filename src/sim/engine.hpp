@@ -4,19 +4,28 @@
 // which makes every run deterministic.  The engine is single-threaded by
 // design; concurrency in the simulated system is expressed as interleaved
 // events, never as host threads.
+//
+// The queue is a 4-ary min-heap of pointers to pooled event nodes.  Nodes
+// are recycled through a free list (steady state performs no heap
+// allocation per event) and each node embeds its action in InlineAction
+// small-buffer storage.  Ordering is the total order (t, seq), so the heap
+// shape can never change the execution order: any correct heap pops the
+// exact same sequence.  pool_stats() exposes the allocation counters that
+// let benchmarks and tests assert the zero-allocation property.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <vector>
 
+#include "sim/action.hpp"
 #include "sim/time.hpp"
 
 namespace spam::sim {
 
 class Engine {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -45,28 +54,55 @@ class Engine {
   /// Makes run()/run_until() return after the current event completes.
   void stop() { stopped_ = true; }
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
 
   /// Total events executed since construction (monotonic; host-perf metric).
   std::uint64_t events_executed() const { return executed_; }
 
- private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
-    Action fn;
+  /// Allocation counters for the event core.  In steady state (after
+  /// warmup) scheduling events must not change `nodes_allocated` or
+  /// `action_heap_fallbacks`: that is the zero-allocation invariant the
+  /// host-perf bench asserts.
+  struct PoolStats {
+    std::uint64_t nodes_allocated = 0;      // pool growth, total nodes ever
+    std::uint64_t nodes_free = 0;           // currently on the free list
+    std::uint64_t nodes_live = 0;           // currently queued
+    std::uint64_t action_heap_fallbacks = 0;  // InlineAction heap closures
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
+  PoolStats pool_stats() const {
+    return {nodes_allocated_, nodes_free_, heap_.size(),
+            InlineAction::heap_fallbacks()};
+  }
+
+ private:
+  struct Node {
+    Time t = 0;
+    std::uint64_t seq = 0;  // tie-breaker: FIFO among same-time events
+    Action fn;
+    Node* next_free = nullptr;
   };
 
-  // Explicit heap (std::push_heap/std::pop_heap over a vector) instead of
-  // std::priority_queue: pop can move the event out rather than copy it.
-  std::vector<Event> queue_;
+  static bool earlier(const Node* a, const Node* b) {
+    return a->t < b->t || (a->t == b->t && a->seq < b->seq);
+  }
+
+  Node* acquire();
+  void release(Node* n);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  Node* pop_min();
+
+  // Node storage: fixed-size blocks keep node addresses stable while the
+  // pool grows; the free list threads through recycled nodes.
+  static constexpr std::size_t kBlockNodes = 256;
+  std::vector<std::unique_ptr<Node[]>> blocks_;
+  Node* free_list_ = nullptr;
+  std::uint64_t nodes_allocated_ = 0;
+  std::uint64_t nodes_free_ = 0;
+
+  std::vector<Node*> heap_;  // 4-ary min-heap ordered by (t, seq)
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -2,6 +2,7 @@
 // debugging sessions enable it per category.  Costs one branch when off.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -27,9 +28,26 @@ class Trace {
     return (mask_ & static_cast<unsigned>(cat)) != 0;
   }
 
+  /// Redirects trace lines into `sink` instead of stderr (nullptr restores
+  /// stderr).  Tests use this to compare full traces across runs.
+  static void capture_to(std::string* sink) { sink_ = sink; }
+
   template <typename... Args>
   static void log(TraceCat cat, Time t, const char* fmt, Args... args) {
     if (!on(cat)) return;
+    if (sink_ != nullptr) {
+      char buf[512];
+      int n = std::snprintf(buf, sizeof buf, "[%12.3f us] ", to_usec(t));
+      if (n > 0 && static_cast<std::size_t>(n) < sizeof buf) {
+        const int m =
+            std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n),
+                          fmt, args...);
+        if (m > 0) n += m;
+      }
+      sink_->append(buf, std::min(static_cast<std::size_t>(n), sizeof buf - 1));
+      sink_->push_back('\n');
+      return;
+    }
     std::fprintf(stderr, "[%12.3f us] ", to_usec(t));
     std::fprintf(stderr, fmt, args...);
     std::fputc('\n', stderr);
@@ -37,6 +55,7 @@ class Trace {
 
  private:
   static inline unsigned mask_ = 0;
+  static inline std::string* sink_ = nullptr;
 };
 
 }  // namespace spam::sim

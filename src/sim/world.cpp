@@ -12,13 +12,16 @@ Time NodeCtx::now() { return engine().now(); }
 void NodeCtx::elapse(Time d) {
   assert(Fiber::current() == fiber_ && "elapse() must run on the node fiber");
   sleep_state_ = SleepState::kElapsing;
-  engine().after(d, [this] {
+  auto wake = [this] {
     // Only our own timer ends an elapse; resumers cannot shorten charged
     // CPU time (they latch wake_pending_ instead).
     assert(sleep_state_ == SleepState::kElapsing);
     sleep_state_ = SleepState::kRunning;
     fiber_->resume();
-  });
+  };
+  static_assert(Engine::Action::fits_inline<decltype(wake)>,
+                "elapse() timer closure must not heap-allocate");
+  engine().after(d, std::move(wake));
   Fiber::yield();
 }
 
