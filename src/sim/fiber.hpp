@@ -1,13 +1,24 @@
-// Cooperative fibers (ucontext-based) used to run one simulated node's
-// program per fiber on top of the single-threaded event engine.
+// Cooperative fibers used to run one simulated node's program per fiber on
+// top of the single-threaded event engine.
 //
 // Discipline: the *main* context resumes a fiber with resume(); the fiber
 // runs until it calls Fiber::yield() (or returns), which switches back to
 // the main context.  Fibers never resume each other directly — all
 // scheduling goes through the engine, preserving determinism.
+//
+// On x86-64 the context switch is a hand-rolled callee-saved-register swap
+// (~15 ns per switch).  glibc's swapcontext makes a sigprocmask syscall on
+// every switch (~200 ns), and with two switches per elapse() it dominated
+// the whole event loop.  The fast path deliberately does NOT preserve
+// per-fiber signal masks or FP exception state beyond mxcsr/fpcw — the
+// simulator is single-threaded and signal-free.  Other architectures (or
+// -DSPAM_SIM_FORCE_UCONTEXT) keep the portable ucontext path.
 #pragma once
 
+#if !defined(__x86_64__) || defined(SPAM_SIM_FORCE_UCONTEXT)
+#define SPAM_SIM_UCONTEXT_FIBER 1
 #include <ucontext.h>
+#endif
 
 #include <cstddef>
 #include <functional>
@@ -47,15 +58,22 @@ class Fiber {
   const std::string& name() const { return name_; }
 
  private:
-  static void trampoline(unsigned hi, unsigned lo);
   void run_body();
 
   std::function<void()> body_;
   std::unique_ptr<char[]> stack_;
   std::size_t stack_bytes_;
   std::string name_;
+#if defined(SPAM_SIM_UCONTEXT_FIBER)
+  static void trampoline(unsigned hi, unsigned lo);
   ucontext_t ctx_{};
   ucontext_t caller_{};
+#else
+  friend void fiber_entry_dispatch();
+  void prepare_stack();
+  void* sp_ = nullptr;         // fiber's saved stack pointer when suspended
+  void* caller_sp_ = nullptr;  // main context's stack pointer while running
+#endif
   State state_ = State::kCreated;
 };
 
