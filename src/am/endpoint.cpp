@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/trace.hpp"
+#include "sphw/payload.hpp"
 
 namespace spam::am {
 
@@ -175,8 +176,7 @@ void Endpoint::store_async(int dst, void* dst_addr, const void* src,
   op.id = next_op_id_++;
   op.dst = dst;
   op.channel = kChanRequest;
-  op.data.resize(len);
-  if (len > 0) std::memcpy(op.data.data(), src, len);
+  op.data = sphw::PayloadPool::instance().copy_from(src, len);
   op.remote_base = reinterpret_cast<std::uint64_t>(dst_addr);
   op.handler = handler;
   op.arg = arg;
@@ -197,8 +197,7 @@ void Endpoint::store(int dst, void* dst_addr, const void* src,
   const std::uint64_t my_id = op.id;
   op.dst = dst;
   op.channel = kChanRequest;
-  op.data.resize(len);
-  if (len > 0) std::memcpy(op.data.data(), src, len);
+  op.data = sphw::PayloadPool::instance().copy_from(src, len);
   op.remote_base = reinterpret_cast<std::uint64_t>(dst_addr);
   op.handler = handler;
   op.arg = arg;
@@ -316,8 +315,8 @@ bool Endpoint::try_send_next_chunk(int dst, std::uint8_t channel,
     pkt.h[2] = op.data.size();
     pkt.h[3] = op.cookie;
     pkt.payload_bytes = static_cast<std::uint32_t>(nbytes);
-    pkt.data.assign(op.data.begin() + static_cast<std::ptrdiff_t>(off),
-                    op.data.begin() + static_cast<std::ptrdiff_t>(off + nbytes));
+    // No copy: the packet's view shares the operation's pooled buffer.
+    pkt.payload = op.data.slice(off, nbytes);
     // Batch the doorbell: one length-array store covers several packets,
     // so the adapter starts fetching while the host keeps writing.
     enqueue_sequenced_packet(std::move(pkt), tx, /*save=*/true,
@@ -397,7 +396,7 @@ void Endpoint::serve_get(const sphw::Packet& pkt) {
   op.channel = kChanReply;
   const auto* src = reinterpret_cast<const std::byte*>(pkt.h[1]);
   const auto len = static_cast<std::size_t>(pkt.h[3]);
-  op.data.assign(src, src + len);
+  op.data = sphw::PayloadPool::instance().copy_from(src, len);
   op.remote_base = pkt.h[2];
   op.handler = static_cast<int>(pkt.h[0] & 0xffffffffu);
   op.arg = static_cast<Word>(pkt.h[0] >> 32);
@@ -427,7 +426,7 @@ void Endpoint::deliver_small(const sphw::Packet& pkt) {
 void Endpoint::deliver_bulk_packet(const sphw::Packet& pkt) {
   auto* base = reinterpret_cast<std::byte*>(pkt.h[1]);
   if (pkt.payload_bytes > 0) {
-    std::memcpy(base + pkt.offset, pkt.data.data(), pkt.data.size());
+    std::memcpy(base + pkt.offset, pkt.payload.data(), pkt.payload.size());
   }
   if (pkt.flags & kFlagOpLast) {
     const auto h = static_cast<std::size_t>(pkt.h[0] & 0xffffffffu);
@@ -560,7 +559,10 @@ void Endpoint::compute(double us) {
     // Wake at the earlier of work-done or packet arrival.  The deadline
     // event may fire after an interrupt already woke us; suspend() callers
     // tolerate such spurious wakes by re-checking state.
-    ctx_.engine().after(work, ctx_.make_resumer());
+    auto resumer = ctx_.make_resumer();
+    static_assert(sim::InlineAction::fits_inline<decltype(resumer)>,
+                  "compute() resumer must not heap-allocate");
+    ctx_.engine().after(work, std::move(resumer));
     ctx_.suspend();
     const sim::Time advanced = ctx_.now() - t0;
     work -= std::min(advanced, work);

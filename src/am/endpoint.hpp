@@ -169,7 +169,7 @@ class Endpoint {
     std::uint64_t id = 0;             // unique per endpoint, for blocking waits
     int dst = -1;
     std::uint8_t channel = kChanRequest;
-    std::vector<std::byte> data;      // snapshot of the source region
+    sphw::PayloadRef data;            // snapshot of the source region (pooled)
     std::uint64_t remote_base = 0;    // destination address on `dst`
     std::size_t sent = 0;             // bytes enqueued so far
     int handler = 0;                  // remote bulk handler

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "sphw/payload.hpp"
+
 namespace spam::mpl {
 
 namespace {
@@ -26,8 +28,7 @@ int MplEndpoint::mpc_send(const void* buf, std::size_t len, int dst,
   op.msg_id = next_msg_id_++;
   op.dst = dst;
   op.tag = tag;
-  op.data.resize(len);
-  if (len > 0) std::memcpy(op.data.data(), buf, len);
+  op.data = sphw::PayloadPool::instance().copy_from(buf, len);
   send_q_.push_back(std::move(op));
   ++stats_.msgs_sent;
   stats_.bytes_sent += len;
@@ -98,9 +99,8 @@ void MplEndpoint::progress_sends() {
       pkt.offset = static_cast<std::uint32_t>(op.sent);
       pkt.payload_bytes = static_cast<std::uint32_t>(nbytes);
       if (nbytes > 0) {
-        pkt.data.assign(
-            op.data.begin() + static_cast<std::ptrdiff_t>(op.sent),
-            op.data.begin() + static_cast<std::ptrdiff_t>(op.sent + nbytes));
+        // Share the staged message bytes; no per-packet copy.
+        pkt.payload = op.data.slice(op.sent, nbytes);
       }
       op.sent += nbytes;
       const bool last = (op.sent == op.data.size());
@@ -160,8 +160,8 @@ void MplEndpoint::handle_packet(sphw::Packet pkt) {
   }
   if (pkt.payload_bytes > 0) {
     ctx_.elapse(sim::usec(pkt.payload_bytes * params_.sysbuf_copy_us_per_byte));
-    std::memcpy(msg->sysbuf.data() + pkt.offset, pkt.data.data(),
-                pkt.data.size());
+    std::memcpy(msg->sysbuf.data() + pkt.offset, pkt.payload.data(),
+                pkt.payload.size());
     msg->received += pkt.payload_bytes;
   }
   if (pkt.flags & kFlagMsgLast) {

@@ -106,7 +106,7 @@ class MplEndpoint {
     std::uint32_t msg_id;
     int dst;
     int tag;
-    std::vector<std::byte> data;
+    sphw::PayloadRef data;  // pooled snapshot of the user buffer
     std::size_t sent = 0;
     bool first_packet_pending = true;
     bool done = false;  // fully handed to the adapter

@@ -84,8 +84,12 @@ void Tb2Adapter::submit_to_tx_pipeline(Packet pkt) {
                   node_, pkt.dst, pkt.channel, pkt.seq, bytes,
                   sim::to_usec(link_free_));
 
-  engine_.at(link_free_,
-             [this, p = std::move(pkt)]() mutable { fabric_.transmit(std::move(p)); });
+  auto depart = [this, p = std::move(pkt)]() mutable {
+    fabric_.transmit(std::move(p));
+  };
+  static_assert(sim::InlineAction::fits_inline<decltype(depart)>,
+                "hot TX closure must not heap-allocate");
+  engine_.at(link_free_, std::move(depart));
 }
 
 void Tb2Adapter::deliver_from_switch(Packet pkt) {
@@ -101,7 +105,7 @@ void Tb2Adapter::deliver_from_switch(Packet pkt) {
   rx_dma_free_ = dma_start + ceil_us(params_.dma_setup_us) +
                  sim::transfer_time(bytes, params_.mc_dma_mbps);
 
-  engine_.at(rx_dma_free_, [this, p = std::move(pkt)]() mutable {
+  auto arrive = [this, p = std::move(pkt)]() mutable {
     if (rx_fifo_used_ >= rx_fifo_capacity_) {
       // Input buffer overflow: the packet is lost; flow control recovers.
       ++stats_.rx_dropped_fifo_full;
@@ -115,7 +119,10 @@ void Tb2Adapter::deliver_from_switch(Packet pkt) {
     stats_.rx_bytes += p.wire_bytes(params_);
     rx_queue_.push_back(std::move(p));
     if (rx_notify_) rx_notify_();
-  });
+  };
+  static_assert(sim::InlineAction::fits_inline<decltype(arrive)>,
+                "hot RX closure must not heap-allocate");
+  engine_.at(rx_dma_free_, std::move(arrive));
 }
 
 Packet Tb2Adapter::host_rx_take(sim::NodeCtx& ctx) {

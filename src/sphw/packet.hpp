@@ -7,9 +7,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
 #include "sphw/params.hpp"
+#include "sphw/payload.hpp"
 
 namespace spam::sphw {
 
@@ -38,7 +38,10 @@ struct Packet {
   std::uint32_t payload_bytes = 0;
   /// Actual content for bulk transfers; may be empty for control packets
   /// whose logical payload lives in h[] (still accounted by payload_bytes).
-  std::vector<std::byte> data;
+  /// A ref-counted view into a pooled buffer: copying the packet (FIFO
+  /// hops, retransmit snapshots) shares the bytes instead of duplicating
+  /// them.  Timing always follows payload_bytes, never this view.
+  PayloadRef payload;
 
   std::uint32_t wire_bytes(const SpParams& p) const {
     return static_cast<std::uint32_t>(p.packet_header_bytes) + payload_bytes;

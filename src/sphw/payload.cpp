@@ -1,0 +1,148 @@
+#include "sphw/payload.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace spam::sphw {
+namespace {
+
+std::size_t class_index(std::size_t len) {
+  std::size_t cls = 0;
+  std::size_t cap = 64;  // PayloadPool::kMinClassBytes
+  while (cap < len) {
+    cap <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+[[noreturn]] void pool_oom(std::size_t bytes) {
+  std::fprintf(stderr, "PayloadPool: allocation of %zu bytes failed\n", bytes);
+  std::abort();
+}
+
+}  // namespace
+
+PayloadPool& PayloadPool::instance() noexcept {
+  static PayloadPool pool;
+  return pool;
+}
+
+PayloadPool::Header* PayloadPool::header_of(std::byte* data) noexcept {
+  return std::launder(reinterpret_cast<Header*>(data - kHeaderSlot));
+}
+
+PayloadRef PayloadPool::allocate(std::size_t len) {
+  PayloadRef ref;
+  if (len == 0) return ref;
+  const std::size_t cls = class_index(len);
+  if (cls >= kNumClasses) pool_oom(len);
+
+  Header* h = free_lists_[cls];
+  if (h != nullptr) {
+    free_lists_[cls] = h->next_free;
+    ++stats_.buffers_reused;
+    --stats_.buffers_free;
+  } else {
+    const std::size_t cap = kMinClassBytes << cls;
+    void* raw = std::malloc(kHeaderSlot + cap);
+    if (raw == nullptr) pool_oom(kHeaderSlot + cap);
+    h = ::new (raw) Header;
+    h->size_class = static_cast<std::uint8_t>(cls);
+    ++stats_.buffers_allocated;
+    stats_.bytes_allocated += cap;
+  }
+  h->refcount = 1;
+  h->next_free = nullptr;
+  ref.buf_ = reinterpret_cast<std::byte*>(h) + kHeaderSlot;
+  ref.off_ = 0;
+  ref.len_ = static_cast<std::uint32_t>(len);
+  return ref;
+}
+
+PayloadRef PayloadPool::copy_from(const void* src, std::size_t len) {
+  PayloadRef ref = allocate(len);
+  if (len > 0) std::memcpy(ref.buf_, src, len);
+  return ref;
+}
+
+void PayloadPool::release_buffer(std::byte* data) noexcept {
+  Header* h = header_of(data);
+  assert(h->refcount > 0);
+  if (--h->refcount == 0) {
+    h->next_free = free_lists_[h->size_class];
+    free_lists_[h->size_class] = h;
+    ++stats_.buffers_free;
+  }
+}
+
+PayloadRef::PayloadRef(const PayloadRef& other) noexcept
+    : buf_(other.buf_), off_(other.off_), len_(other.len_) {
+  if (buf_ != nullptr) ++PayloadPool::header_of(buf_)->refcount;
+}
+
+PayloadRef& PayloadRef::operator=(const PayloadRef& other) noexcept {
+  if (this != &other) {
+    if (other.buf_ != nullptr) {
+      ++PayloadPool::header_of(other.buf_)->refcount;
+    }
+    release();
+    buf_ = other.buf_;
+    off_ = other.off_;
+    len_ = other.len_;
+  }
+  return *this;
+}
+
+PayloadRef& PayloadRef::operator=(PayloadRef&& other) noexcept {
+  if (this != &other) {
+    release();
+    buf_ = other.buf_;
+    off_ = other.off_;
+    len_ = other.len_;
+    other.buf_ = nullptr;
+    other.off_ = 0;
+    other.len_ = 0;
+  }
+  return *this;
+}
+
+void PayloadRef::release() noexcept {
+  if (buf_ != nullptr) {
+    PayloadPool::instance().release_buffer(buf_);
+  }
+}
+
+const std::byte* PayloadRef::data() const noexcept { return buf_ + off_; }
+
+std::byte* PayloadRef::mutable_data() noexcept {
+  assert(buf_ != nullptr);
+  assert(PayloadPool::header_of(buf_)->refcount == 1 &&
+         "mutable_data() requires sole ownership");
+  return buf_ + off_;
+}
+
+PayloadRef PayloadRef::slice(std::size_t off, std::size_t len) const noexcept {
+  assert(off + len <= len_);
+  PayloadRef r;
+  if (buf_ != nullptr && len > 0) {
+    ++PayloadPool::header_of(buf_)->refcount;
+    r.buf_ = buf_;
+    r.off_ = off_ + static_cast<std::uint32_t>(off);
+    r.len_ = static_cast<std::uint32_t>(len);
+  }
+  return r;
+}
+
+void PayloadRef::assign(const void* src, std::size_t len) {
+  *this = PayloadPool::instance().copy_from(src, len);
+}
+
+void PayloadRef::assign(std::size_t len, std::byte fill) {
+  *this = PayloadPool::instance().allocate(len);
+  if (len > 0) std::memset(buf_, static_cast<int>(fill), len);
+}
+
+}  // namespace spam::sphw

@@ -29,10 +29,12 @@ void SwitchFabric::transmit(Packet pkt) {
   }
   ++stats_.delivered;
   Tb2Adapter* dst = adapters_[pkt.dst];
-  engine_.after(sim::usec(params_.hop_latency_us),
-                [dst, p = std::move(pkt)]() mutable {
-                  dst->deliver_from_switch(std::move(p));
-                });
+  auto hop = [dst, p = std::move(pkt)]() mutable {
+    dst->deliver_from_switch(std::move(p));
+  };
+  static_assert(sim::InlineAction::fits_inline<decltype(hop)>,
+                "hot switch closure must not heap-allocate");
+  engine_.after(sim::usec(params_.hop_latency_us), std::move(hop));
 }
 
 }  // namespace spam::sphw

@@ -14,7 +14,7 @@ Packet mk(int dst, std::uint32_t payload, std::uint32_t seq = 0) {
   p.dst = static_cast<std::int16_t>(dst);
   p.seq = seq;
   p.payload_bytes = payload;
-  p.data.assign(payload, std::byte{0xab});
+  p.payload.assign(payload, std::byte{0xab});
   return p;
 }
 
@@ -35,8 +35,8 @@ TEST(Adapter, DeliversOnePacket) {
     got_seq = p.seq;
     EXPECT_EQ(p.src, 0);
     EXPECT_EQ(p.payload_bytes, 64u);
-    ASSERT_EQ(p.data.size(), 64u);
-    EXPECT_EQ(p.data[63], std::byte{0xab});
+    ASSERT_EQ(p.payload.size(), 64u);
+    EXPECT_EQ(p.payload[63], std::byte{0xab});
   });
   w.run();
 

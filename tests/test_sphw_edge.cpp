@@ -15,7 +15,7 @@ Packet mk(int dst, std::uint32_t payload, std::uint32_t seq = 0) {
   p.dst = static_cast<std::int16_t>(dst);
   p.seq = seq;
   p.payload_bytes = payload;
-  p.data.assign(payload, std::byte{0x61});
+  p.payload.assign(payload, std::byte{0x61});
   return p;
 }
 
