@@ -1,0 +1,122 @@
+// Tests for InlineAction: small-buffer storage, move-only semantics,
+// captured-state lifetime, and heap-fallback accounting.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "sim/action.hpp"
+
+namespace spam::sim {
+namespace {
+
+TEST(InlineAction, EmptyByDefault) {
+  InlineAction a;
+  EXPECT_FALSE(static_cast<bool>(a));
+}
+
+TEST(InlineAction, InvokesStoredCallable) {
+  int hits = 0;
+  InlineAction a = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(a));
+  a();
+  a();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineAction, MoveTransfersAndEmptiesSource) {
+  int hits = 0;
+  InlineAction a = [&hits] { ++hits; };
+  InlineAction b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineAction c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineAction, MoveOnlyCallablesWork) {
+  auto p = std::make_unique<int>(41);
+  InlineAction a = [q = std::move(p)]() mutable { ++*q; };
+  InlineAction b = std::move(a);
+  b();  // must not crash; unique_ptr travelled with the closure
+}
+
+TEST(InlineAction, DestroysCapturedState) {
+  auto guard = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = guard;
+  {
+    InlineAction a = [g = std::move(guard)] { (void)g; };
+    EXPECT_FALSE(watch.expired());
+  }
+  // Dropping the action must release the capture even without invocation.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineAction, MovedFromReleasesOnlyOnce) {
+  auto guard = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = guard;
+  InlineAction a = [g = std::move(guard)] { (void)g; };
+  {
+    InlineAction b = std::move(a);
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+  // Destroying the moved-from action must not double-free.
+}
+
+TEST(InlineAction, SmallClosuresFitInline) {
+  struct Big {
+    std::array<std::byte, InlineAction::kInlineBytes> pad;
+    void operator()() const {}
+  };
+  struct TooBig {
+    std::array<std::byte, InlineAction::kInlineBytes + 1> pad;
+    void operator()() const {}
+  };
+  static_assert(InlineAction::fits_inline<Big>);
+  static_assert(!InlineAction::fits_inline<TooBig>);
+
+  const std::uint64_t before = InlineAction::heap_fallbacks();
+  InlineAction a = Big{};
+  EXPECT_EQ(InlineAction::heap_fallbacks(), before);
+  a();
+}
+
+TEST(InlineAction, OversizedClosureFallsBackToHeapAndCounts) {
+  struct TooBig {
+    std::array<std::byte, InlineAction::kInlineBytes + 1> pad{};
+    int* hits = nullptr;
+    void operator()() const { ++*hits; }
+  };
+  int hits = 0;
+  const std::uint64_t before = InlineAction::heap_fallbacks();
+  TooBig f;
+  f.hits = &hits;
+  InlineAction a = f;
+  EXPECT_EQ(InlineAction::heap_fallbacks(), before + 1);
+  InlineAction b = std::move(a);  // heap pointer relocates, no new fallback
+  EXPECT_EQ(InlineAction::heap_fallbacks(), before + 1);
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineAction, AcceptsLvalueStdFunction) {
+  int hits = 0;
+  std::function<void()> fn = [&hits] { ++hits; };
+  InlineAction a = fn;  // copies, leaving fn usable
+  a();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+}  // namespace
+}  // namespace spam::sim

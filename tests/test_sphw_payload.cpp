@@ -1,0 +1,109 @@
+// Tests for the payload arena: ref-counted sharing, slicing, and
+// free-list reuse (the zero-copy / zero-steady-state-allocation story).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "sphw/payload.hpp"
+
+namespace spam::sphw {
+namespace {
+
+TEST(Payload, EmptyRef) {
+  PayloadRef r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(Payload, CopyFromHoldsBytes) {
+  const char msg[] = "hello, tb2";
+  PayloadRef r = PayloadPool::instance().copy_from(msg, sizeof msg);
+  ASSERT_EQ(r.size(), sizeof msg);
+  EXPECT_EQ(std::memcmp(r.data(), msg, sizeof msg), 0);
+}
+
+TEST(Payload, CopySharesBuffer) {
+  PayloadRef a = PayloadPool::instance().copy_from("abcd", 4);
+  PayloadRef b = a;
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(b.size(), 4u);
+  a.reset();
+  // b keeps the buffer alive.
+  EXPECT_EQ(std::memcmp(b.data(), "abcd", 4), 0);
+}
+
+TEST(Payload, SliceSharesWithoutCopy) {
+  const char msg[] = "0123456789";
+  PayloadRef whole = PayloadPool::instance().copy_from(msg, 10);
+  PayloadRef mid = whole.slice(3, 4);
+  ASSERT_EQ(mid.size(), 4u);
+  EXPECT_EQ(mid.data(), whole.data() + 3);
+  EXPECT_EQ(mid[0], std::byte{'3'});
+  whole.reset();
+  // The slice still pins the underlying buffer.
+  EXPECT_EQ(std::memcmp(mid.data(), "3456", 4), 0);
+}
+
+TEST(Payload, AssignFill) {
+  PayloadRef r;
+  r.assign(64, std::byte{0xab});
+  ASSERT_EQ(r.size(), 64u);
+  EXPECT_EQ(r[0], std::byte{0xab});
+  EXPECT_EQ(r[63], std::byte{0xab});
+}
+
+TEST(Payload, ReleaseReturnsBufferToFreeList) {
+  PayloadPool& pool = PayloadPool::instance();
+  const auto before = pool.stats();
+  {
+    PayloadRef r = pool.allocate(128);
+    (void)r;
+  }
+  const auto after = pool.stats();
+  EXPECT_EQ(after.buffers_free, before.buffers_free + 1);
+}
+
+TEST(Payload, SteadyStateReusesBuffers) {
+  PayloadPool& pool = PayloadPool::instance();
+  // Warm the 1 KiB class.
+  { PayloadRef r = pool.allocate(1024); }
+  const auto warm = pool.stats();
+  for (int i = 0; i < 100; ++i) {
+    PayloadRef r = pool.allocate(1024);
+    PayloadRef copy = r;
+    PayloadRef part = r.slice(16, 64);
+  }
+  const auto after = pool.stats();
+  // Same-class allocations are all served from the free list.
+  EXPECT_EQ(after.buffers_allocated, warm.buffers_allocated);
+  EXPECT_EQ(after.buffers_reused, warm.buffers_reused + 100);
+}
+
+TEST(Payload, RefcountSurvivesVectorChurn) {
+  // The retransmit path keeps packet copies in vectors that reallocate.
+  PayloadRef src = PayloadPool::instance().copy_from("wxyz", 4);
+  std::vector<PayloadRef> saved;
+  for (int i = 0; i < 50; ++i) saved.push_back(src.slice(0, 4));
+  src.reset();
+  for (const PayloadRef& r : saved) {
+    EXPECT_EQ(std::memcmp(r.data(), "wxyz", 4), 0);
+  }
+}
+
+TEST(Payload, MutableDataOnSoleOwner) {
+  PayloadRef r = PayloadPool::instance().allocate(8);
+  std::memset(r.mutable_data(), 0x5a, 8);
+  EXPECT_EQ(r[7], std::byte{0x5a});
+}
+
+TEST(Payload, MoveLeavesSourceEmpty) {
+  PayloadRef a = PayloadPool::instance().copy_from("pq", 2);
+  PayloadRef b = std::move(a);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.size(), 2u);
+}
+
+}  // namespace
+}  // namespace spam::sphw
