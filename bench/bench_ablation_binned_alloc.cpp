@@ -4,6 +4,10 @@
 // search-cost proxy.
 #include <benchmark/benchmark.h>
 
+#include <array>
+
+#include "driver/sweep.hpp"
+#include "harness.hpp"
 #include "micro.hpp"
 #include "mpi/buffer_alloc.hpp"
 #include "sim/rng.hpp"
@@ -37,8 +41,7 @@ double small_msg_throughput_us(const MpiWorldConfig& cfg) {
     static const std::size_t s[] = {96, 512, 960, 224, 736, 160, 864, 416};
     return s[i % kPerGroup];
   };
-  static std::vector<std::byte> buf;
-  buf.assign(1024, std::byte{1});
+  std::vector<std::byte> buf(1024, std::byte{1});
   spam::sim::Time elapsed = 0;
   w.run([&](spam::mpi::Mpi& m) {
     if (m.rank() == 0) {
@@ -64,12 +67,13 @@ double small_msg_throughput_us(const MpiWorldConfig& cfg) {
   return spam::sim::to_usec(elapsed) / kMsgs;
 }
 
+// g_per_msg[binned][batch], filled by the parallel sweep in main().
+std::array<std::array<double, 2>, 2> g_per_msg{};
+
 void BM_SmallMsgPerMessage(benchmark::State& state) {
-  const bool binned = state.range(0) != 0;
-  const bool batch = state.range(1) != 0;
   double us = 0;
   for (auto _ : state) {
-    us = small_msg_throughput_us(variant(binned, batch));
+    us = g_per_msg[state.range(0)][state.range(1)];
     state.SetIterationTime(us * 1e-6);
   }
   state.counters["us_per_msg"] = us;
@@ -82,7 +86,25 @@ BENCHMARK(BM_SmallMsgPerMessage)
 }  // namespace
 
 int main(int argc, char** argv) {
+  spam::bench::harness_init(&argc, argv);
   benchmark::Initialize(&argc, argv);
+
+  {  // All four variants, per-message stream and cached 64 B hop latency.
+    std::vector<std::function<void()>> points;
+    for (int binned = 0; binned < 2; ++binned) {
+      for (int batch = 0; batch < 2; ++batch) {
+        points.push_back([binned, batch] {
+          g_per_msg[binned][batch] =
+              small_msg_throughput_us(variant(binned != 0, batch != 0));
+        });
+        points.push_back([binned, batch] {
+          spam::bench::mpi_hop_latency_us(variant(binned != 0, batch != 0),
+                                          64);
+        });
+      }
+    }
+    spam::bench::prewarm(points);
+  }
   benchmark::RunSpecifiedBenchmarks();
 
   spam::report::Table tab(
@@ -93,12 +115,13 @@ int main(int argc, char** argv) {
       const auto cfg = variant(binned, batch);
       tab.add_row({binned ? "binned+first-fit" : "first-fit only",
                    batch ? "batched" : "one per buffer",
-                   spam::report::fmt(small_msg_throughput_us(cfg), 2),
+                   spam::report::fmt(g_per_msg[binned ? 1 : 0][batch ? 1 : 0],
+                                     2),
                    spam::report::fmt(
                        spam::bench::mpi_hop_latency_us(cfg, 64), 2)});
     }
   }
-  tab.print();
+  spam::bench::emit(tab);
 
   // Allocator-only search-cost comparison under realistic churn.
   auto churn_steps = [](bool binned) {
@@ -131,5 +154,5 @@ int main(int argc, char** argv) {
       "first-fit walks ~5x further than the binned fast path — at "
       "~0.2 us a\nstep, the 'major cost in sending small messages' the "
       "paper reports.\n");
-  return 0;
+  return spam::bench::harness_finish();
 }

@@ -3,6 +3,7 @@
 // batch, reporting their effect on bulk bandwidth and one-word round-trip.
 #include <benchmark/benchmark.h>
 
+#include "harness.hpp"
 #include "micro.hpp"
 
 namespace {
@@ -86,7 +87,52 @@ BENCHMARK(BM_RttVsWindow)->Arg(8)->Arg(72)->Arg(144)
 }  // namespace
 
 int main(int argc, char** argv) {
+  spam::bench::harness_init(&argc, argv);
   benchmark::Initialize(&argc, argv);
+
+  {  // Warm every knob setting across --jobs threads.
+    std::vector<std::function<void()>> points;
+    for (int c : {4, 9, 18, 36, 72}) {
+      points.push_back([c] {
+        spam::am::AmParams amp;
+        amp.chunk_packets = c;
+        amp.request_window_packets = 2 * c;
+        amp.reply_window_packets = 2 * c + 4;
+        bw_with(amp);
+      });
+    }
+    for (int w : {36, 72, 108, 144}) {
+      points.push_back([w] {
+        spam::am::AmParams amp;
+        amp.request_window_packets = w;
+        amp.reply_window_packets = w + 4;
+        bw_with(amp);
+      });
+    }
+    for (int d : {1, 2, 4, 8, 36}) {
+      points.push_back([d] {
+        spam::am::AmParams amp;
+        amp.doorbell_batch_packets = d;
+        bw_with(amp);
+      });
+    }
+    for (int l : {1, 4, 8, 32}) {
+      points.push_back([l] {
+        spam::sphw::SpParams hw = spam::sphw::SpParams::thin_node();
+        hw.lazy_pop_batch = l;
+        bw_with({}, hw);
+      });
+    }
+    for (int w : {8, 72, 144}) {
+      points.push_back([w] {
+        spam::am::AmParams amp;
+        amp.request_window_packets = w;
+        amp.reply_window_packets = w + 4;
+        spam::bench::am_rtt_us(1, spam::sphw::SpParams::thin_node(), amp);
+      });
+    }
+    spam::bench::prewarm(points);
+  }
   benchmark::RunSpecifiedBenchmarks();
 
   spam::report::Table tab("Flow-control ablations (1 MB async store)");
@@ -118,11 +164,11 @@ int main(int argc, char** argv) {
     tab.add_row({"lazy-pop batch", std::to_string(l),
                  spam::report::fmt(bw_with({}, hw))});
   }
-  tab.print();
+  spam::bench::emit(tab);
   std::printf(
       "\nDesign-choice reading: a one-chunk window stalls the pipeline "
       "(chunk N needs the\nack of chunk N-2); per-packet doorbells and "
       "per-packet pops burn a ~1 us\nMicroChannel access each, which is why "
       "the paper batches both.\n");
-  return 0;
+  return spam::bench::harness_finish();
 }

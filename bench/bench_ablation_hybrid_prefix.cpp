@@ -3,6 +3,7 @@
 // prefix sizes, including 0 (pure rendez-vous).
 #include <benchmark/benchmark.h>
 
+#include "harness.hpp"
 #include "micro.hpp"
 
 namespace {
@@ -42,7 +43,20 @@ BENCHMARK(BM_HybridPrefix)
 }  // namespace
 
 int main(int argc, char** argv) {
+  spam::bench::harness_init(&argc, argv);
   benchmark::Initialize(&argc, argv);
+
+  {  // Warm every (prefix, size) point across --jobs threads.
+    std::vector<std::function<void()>> points;
+    for (std::size_t p : kPrefixes) {
+      for (std::size_t s : kSizes) {
+        points.push_back([p, s] {
+          spam::bench::mpi_bandwidth_mbps(cfg_with_prefix(p), s);
+        });
+      }
+    }
+    spam::bench::prewarm(points);
+  }
   benchmark::RunSpecifiedBenchmarks();
 
   spam::report::Table tab(
@@ -60,10 +74,10 @@ int main(int argc, char** argv) {
     }
     tab.add_row(row);
   }
-  tab.print();
+  spam::bench::emit(tab);
   std::printf(
       "\nDesign-choice reading: the prefix keeps the pipe full during the "
       "rendez-vous\nhandshake; gains should saturate near the paper's 4 KB "
       "choice.\n");
-  return 0;
+  return spam::bench::harness_finish();
 }

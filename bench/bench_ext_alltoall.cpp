@@ -5,8 +5,10 @@
 // block sizes, on the same MPI-AM device.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <vector>
 
+#include "harness.hpp"
 #include "micro.hpp"
 
 namespace {
@@ -24,9 +26,10 @@ double alltoall_us(bool staggered, std::size_t block, int nodes) {
   cfg.impl = MpiImpl::kAmOptimized;
   cfg.nodes = nodes;
   spam::mpi::MpiWorld w(cfg);
-  static std::vector<std::byte> sbuf, rbuf;
-  sbuf.assign(block * static_cast<std::size_t>(nodes), std::byte{1});
-  rbuf.assign(block * static_cast<std::size_t>(nodes), std::byte{0});
+  std::vector<std::byte> sbuf(block * static_cast<std::size_t>(nodes),
+                              std::byte{1});
+  std::vector<std::byte> rbuf(block * static_cast<std::size_t>(nodes),
+                              std::byte{0});
   spam::sim::Time elapsed = 0;
 
   w.run([&](spam::mpi::Mpi& mpi) {
@@ -62,12 +65,13 @@ double alltoall_us(bool staggered, std::size_t block, int nodes) {
 
 const std::size_t kBlocks[] = {256, 1024, 4096, 16384};
 
+// g_us[staggered][block index], filled by the parallel sweep in main().
+std::array<std::array<double, 4>, 2> g_us{};
+
 void BM_Alltoall(benchmark::State& state) {
-  const bool staggered = state.range(0) != 0;
-  const std::size_t block = kBlocks[state.range(1)];
   double us = 0;
   for (auto _ : state) {
-    us = alltoall_us(staggered, block, 16);
+    us = g_us[state.range(0)][state.range(1)];
     state.SetIterationTime(us * 1e-6);
   }
   state.counters["sim_us"] = us;
@@ -80,24 +84,37 @@ BENCHMARK(BM_Alltoall)
 }  // namespace
 
 int main(int argc, char** argv) {
+  spam::bench::harness_init(&argc, argv);
   benchmark::Initialize(&argc, argv);
+
+  {  // 2 schedules x 4 block sizes across --jobs threads.
+    std::vector<std::function<void()>> points;
+    for (int st = 0; st < 2; ++st) {
+      for (int b = 0; b < 4; ++b) {
+        points.push_back([st, b] {
+          g_us[st][b] = alltoall_us(st != 0, kBlocks[b], 16);
+        });
+      }
+    }
+    spam::bench::prewarm(points);
+  }
   benchmark::RunSpecifiedBenchmarks();
 
   spam::report::Table tab(
       "Extension — alltoall schedule, 16 nodes, same MPI-AM transport");
   tab.set_header({"block bytes", "MPICH naive (us)", "staggered (us)",
                   "naive / staggered"});
-  for (std::size_t b : kBlocks) {
-    const double naive = alltoall_us(false, b, 16);
-    const double stag = alltoall_us(true, b, 16);
-    tab.add_row({std::to_string(b), spam::report::fmt(naive),
+  for (int b = 0; b < 4; ++b) {
+    const double naive = g_us[0][b];
+    const double stag = g_us[1][b];
+    tab.add_row({std::to_string(kBlocks[b]), spam::report::fmt(naive),
                  spam::report::fmt(stag), spam::report::fmt(naive / stag, 2)});
   }
-  tab.print();
+  spam::bench::emit(tab);
   std::printf(
       "\nReading: the synchronized destination order creates the receiver "
       "hot spot the\npaper blames for FT's MPICH gap ('all processors try "
       "to send to the same\nprocessor at the same time, rather than "
       "spreading out the communication').\n");
-  return 0;
+  return spam::bench::harness_finish();
 }

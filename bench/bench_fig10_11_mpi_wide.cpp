@@ -3,6 +3,7 @@
 // small messages (< ~100 B) while the optimized MPI-AM takes over above.
 #include <benchmark/benchmark.h>
 
+#include "harness.hpp"
 #include "micro.hpp"
 
 namespace {
@@ -34,10 +35,34 @@ std::vector<std::size_t> bandwidth_sizes() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  spam::bench::harness_init(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
 
   const auto hw = spam::sphw::SpParams::wide_node();
+
+  {  // Warm every (curve, size) point across --jobs threads.
+    std::vector<std::function<void()>> points;
+    for (std::size_t s : latency_sizes()) {
+      points.push_back([s, hw] { spam::bench::am_store_hop_latency_us(s, hw); });
+      for (auto impl : {MpiImpl::kAmUnoptimized, MpiImpl::kAmOptimized,
+                        MpiImpl::kMpiF}) {
+        points.push_back([impl, s] {
+          spam::bench::mpi_hop_latency_us(cfg_of(impl), s);
+        });
+      }
+    }
+    for (std::size_t s : bandwidth_sizes()) {
+      points.push_back([s, hw] { spam::bench::am_store_bandwidth_mbps(s, hw); });
+      for (auto impl : {MpiImpl::kAmUnoptimized, MpiImpl::kAmOptimized,
+                        MpiImpl::kMpiF}) {
+        points.push_back([impl, s] {
+          spam::bench::mpi_bandwidth_mbps(cfg_of(impl), s);
+        });
+      }
+    }
+    spam::bench::prewarm(points);
+  }
+  benchmark::RunSpecifiedBenchmarks();
 
   spam::report::Table lat(
       "Figure 10 — MPI per-hop latency on wide nodes (us)");
@@ -54,7 +79,7 @@ int main(int argc, char** argv) {
          spam::report::fmt(spam::bench::mpi_hop_latency_us(
              cfg_of(MpiImpl::kMpiF), s))});
   }
-  lat.print();
+  spam::bench::emit(lat);
 
   spam::report::Table bw(
       "Figure 11 — MPI point-to-point bandwidth on wide nodes (MB/s)");
@@ -70,11 +95,11 @@ int main(int argc, char** argv) {
          spam::report::fmt(spam::bench::mpi_bandwidth_mbps(
              cfg_of(MpiImpl::kMpiF), s))});
   }
-  bw.print();
+  spam::bench::emit(bw);
 
   std::printf(
       "\nShape checks (paper, wide nodes): MPI-F is faster below ~100 B "
       "(it was tuned\nhere) but slower for larger messages; the MPI-F 4 KB "
       "discontinuity persists;\nMPI-AM's hybrid stays smooth.\n");
-  return 0;
+  return spam::bench::harness_finish();
 }

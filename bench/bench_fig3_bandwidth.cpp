@@ -4,6 +4,7 @@
 // pipelined MPL send.
 #include <benchmark/benchmark.h>
 
+#include "harness.hpp"
 #include "micro.hpp"
 
 namespace {
@@ -85,6 +86,7 @@ void register_sizes(const char* name, void (*fn)(benchmark::State&)) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  spam::bench::harness_init(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   // Register one point per curve per size so the benchmark table lists the
@@ -95,33 +97,16 @@ int main(int argc, char** argv) {
   register_sizes("Fig3/PipelinedAsyncStore", BM_AsyncStore);
   register_sizes("Fig3/PipelinedAsyncGet", BM_AsyncGet);
   register_sizes("Fig3/PipelinedMplSend", BM_MplPipelined);
+
+  spam::bench::prewarm(spam::bench::fig3_points(spam::bench::figure3_sizes()));
   benchmark::RunSpecifiedBenchmarks();
 
-  // Figure data as a table: size, then the six curves (computed once).
-  spam::report::Table tab("Figure 3 — bandwidth of bulk transfers (MB/s)");
-  tab.set_header({"bytes", "sync store", "sync get", "MPL blocking",
-                  "async store", "async get", "MPL pipelined"});
-  for (std::size_t s : spam::bench::figure3_sizes()) {
-    tab.add_row(
-        {std::to_string(s),
-         spam::report::fmt(
-             spam::bench::am_bandwidth_mbps(AmBwMode::kSyncStore, s)),
-         spam::report::fmt(
-             spam::bench::am_bandwidth_mbps(AmBwMode::kSyncGet, s)),
-         spam::report::fmt(
-             spam::bench::mpl_bandwidth_mbps(MplBwMode::kBlocking, s)),
-         spam::report::fmt(spam::bench::am_bandwidth_mbps(
-             AmBwMode::kPipelinedAsyncStore, s)),
-         spam::report::fmt(
-             spam::bench::am_bandwidth_mbps(AmBwMode::kPipelinedAsyncGet, s)),
-         spam::report::fmt(
-             spam::bench::mpl_bandwidth_mbps(MplBwMode::kPipelined, s))});
-  }
-  tab.print();
+  // Figure data as a table: size, then the six curves (all cached by now).
+  spam::bench::emit(spam::bench::fig3_table(spam::bench::figure3_sizes()));
 
   std::printf(
       "\nShape checks (paper): async >= sync below one chunk and equal "
       "above 8064 B;\nsync get trails sync store at small sizes; all curves "
       "converge to ~34-35 MB/s.\n");
-  return 0;
+  return spam::bench::harness_finish();
 }

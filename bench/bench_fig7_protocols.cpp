@@ -8,6 +8,7 @@
 // paper's protocol study similarly isolates the protocols).
 #include <benchmark/benchmark.h>
 
+#include "harness.hpp"
 #include "micro.hpp"
 
 namespace {
@@ -64,9 +65,20 @@ void run_curve(const char* name, const MpiWorldConfig& cfg,
 }  // namespace
 
 int main(int argc, char** argv) {
+  spam::bench::harness_init(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   std::vector<spam::report::BwPoint> buffered, rdv, hybrid;
+
+  {  // Warm every (protocol, size) point across --jobs threads.
+    std::vector<std::function<void()>> points;
+    for (auto cfg : {force_buffered(), force_rendezvous(), force_hybrid()}) {
+      for (std::size_t s : sizes()) {
+        points.push_back([cfg, s] { spam::bench::mpi_bandwidth_mbps(cfg, s); });
+      }
+    }
+    spam::bench::prewarm(points);
+  }
 
   benchmark::RegisterBenchmark("Fig7/Buffered", [&](benchmark::State& state) {
     for (auto _ : state) {
@@ -102,7 +114,7 @@ int main(int argc, char** argv) {
                  spam::report::fmt(rdv[i].mbps),
                  spam::report::fmt(hybrid[i].mbps)});
   }
-  tab.print();
+  spam::bench::emit(tab);
 
   // Shape check: the hybrid curve should match or beat both pure protocols
   // in the 4-32 KB switch region.
@@ -116,5 +128,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\nHybrid >= min(buffered, rendez-vous) on %d/%d points in the "
               "switch region.\n", wins, pts);
-  return 0;
+  return spam::bench::harness_finish();
 }

@@ -3,6 +3,7 @@
 // raw am_store, unoptimized MPI-AM, optimized MPI-AM, and MPI-F.
 #include <benchmark/benchmark.h>
 
+#include "harness.hpp"
 #include "micro.hpp"
 
 namespace {
@@ -34,10 +35,34 @@ std::vector<std::size_t> bandwidth_sizes() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  spam::bench::harness_init(&argc, argv);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
 
   const auto hw = spam::sphw::SpParams::thin_node();
+
+  {  // Warm every (curve, size) point across --jobs threads.
+    std::vector<std::function<void()>> points;
+    for (std::size_t s : latency_sizes()) {
+      points.push_back([s, hw] { spam::bench::am_store_hop_latency_us(s, hw); });
+      for (auto impl : {MpiImpl::kAmUnoptimized, MpiImpl::kAmOptimized,
+                        MpiImpl::kMpiF}) {
+        points.push_back([impl, hw, s] {
+          spam::bench::mpi_hop_latency_us(cfg_of(impl, hw), s);
+        });
+      }
+    }
+    for (std::size_t s : bandwidth_sizes()) {
+      points.push_back([s, hw] { spam::bench::am_store_bandwidth_mbps(s, hw); });
+      for (auto impl : {MpiImpl::kAmUnoptimized, MpiImpl::kAmOptimized,
+                        MpiImpl::kMpiF}) {
+        points.push_back([impl, hw, s] {
+          spam::bench::mpi_bandwidth_mbps(cfg_of(impl, hw), s);
+        });
+      }
+    }
+    spam::bench::prewarm(points);
+  }
+  benchmark::RunSpecifiedBenchmarks();
 
   spam::report::Table lat(
       "Figure 8 — MPI per-hop latency on thin nodes (us)");
@@ -54,7 +79,7 @@ int main(int argc, char** argv) {
          spam::report::fmt(spam::bench::mpi_hop_latency_us(
              cfg_of(MpiImpl::kMpiF, hw), s))});
   }
-  lat.print();
+  spam::bench::emit(lat);
 
   spam::report::Table bw(
       "Figure 9 — MPI point-to-point bandwidth on thin nodes (MB/s)");
@@ -70,12 +95,12 @@ int main(int argc, char** argv) {
          spam::report::fmt(spam::bench::mpi_bandwidth_mbps(
              cfg_of(MpiImpl::kMpiF, hw), s))});
   }
-  bw.print();
+  spam::bench::emit(bw);
 
   std::printf(
       "\nShape checks (paper, thin nodes): optimized MPI-AM achieves lower "
       "small-message\nlatency than MPI-F and beats it by 10-30%% at 8-20 KB; "
       "MPI-F dips after its 4 KB\nprotocol switch; all ride below the raw "
       "am_store curve.\n");
-  return 0;
+  return spam::bench::harness_finish();
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "am/net.hpp"
+#include "harness.hpp"
 #include "sim/world.hpp"
 #include "sphw/machine.hpp"
 #include "sphw/payload.hpp"
@@ -171,18 +172,18 @@ constexpr double kBaselineBulkMbps = 39.4;          // host MB/s
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  std::string out = "BENCH_host_perf.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
-      return 2;
-    }
+  // Shared flag parsing (--quick/--out/--jobs); the workloads themselves
+  // stay serial on purpose — they measure host wall-clock, and concurrent
+  // runs would contend for cores and corrupt the numbers.
+  spam::bench::harness_init(&argc, argv);
+  if (argc > 1) {
+    std::fprintf(stderr, "usage: %s [--quick] [--out <path>]\n", argv[0]);
+    return 2;
   }
+  const bool quick = spam::bench::options().quick;
+  const std::string out = spam::bench::options().out.empty()
+                              ? "BENCH_host_perf.json"
+                              : spam::bench::options().out;
 
   const int pp_iters = quick ? 2000 : 20000;
   const WorkloadResult pp = run_pingpong(quick ? 50 : 200, pp_iters);

@@ -2,6 +2,7 @@
 // plus the poll costs quoted in section 2.5.
 #include <benchmark/benchmark.h>
 
+#include "harness.hpp"
 #include "micro.hpp"
 
 namespace {
@@ -51,7 +52,18 @@ BENCHMARK(BM_AmPollPerMessage)->UseManualTime()->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  spam::bench::harness_init(&argc, argv);
   benchmark::Initialize(&argc, argv);
+
+  std::vector<std::function<void()>> points;
+  for (int n = 1; n <= 4; ++n) {
+    points.push_back([n] { spam::bench::am_request_cost_us(n); });
+    points.push_back([n] { spam::bench::am_reply_cost_us(n); });
+  }
+  points.push_back([] { spam::bench::am_poll_empty_us(); });
+  points.push_back([] { spam::bench::am_poll_per_msg_us(); });
+  spam::bench::prewarm(points);
+
   benchmark::RunSpecifiedBenchmarks();
 
   spam::report::PaperComparison cmp(
@@ -71,6 +83,6 @@ int main(int argc, char** argv) {
           spam::report::fmt_us(spam::bench::am_poll_empty_us()));
   cmp.add("per received message", spam::report::fmt_us(1.8),
           spam::report::fmt_us(spam::bench::am_poll_per_msg_us()));
-  cmp.print();
-  return 0;
+  spam::bench::emit(cmp);
+  return spam::bench::harness_finish();
 }

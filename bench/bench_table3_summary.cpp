@@ -3,6 +3,7 @@
 // 46.5 us, MPL 88 us), asymptotic bandwidths, and half-power points.
 #include <benchmark/benchmark.h>
 
+#include "harness.hpp"
 #include "micro.hpp"
 
 namespace {
@@ -60,7 +61,21 @@ BENCHMARK(BM_MplRoundTrip)->UseManualTime()->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  spam::bench::harness_init(&argc, argv);
   benchmark::Initialize(&argc, argv);
+
+  // All round-trips plus the six Figure-3 curves the n-1/2 analysis sweeps.
+  std::vector<std::function<void()>> points;
+  for (int n = 1; n <= 4; ++n) {
+    points.push_back([n] { spam::bench::am_rtt_us(n); });
+  }
+  points.push_back([] { spam::bench::raw_rtt_us(); });
+  points.push_back([] { spam::bench::mpl_rtt_us(); });
+  for (auto& p : spam::bench::fig3_points(spam::bench::figure3_sizes())) {
+    points.push_back(std::move(p));
+  }
+  spam::bench::prewarm(points);
+
   benchmark::RunSpecifiedBenchmarks();
 
   using spam::report::fmt_bytes;
@@ -104,6 +119,6 @@ int main(int argc, char** argv) {
           fmt_bytes(spam::report::n_half(mpl_pipe)));
   cmp.add("MPL n1/2 blocking", "> 3000 B",
           fmt_bytes(spam::report::n_half(mpl_block)));
-  cmp.print();
-  return 0;
+  spam::bench::emit(cmp);
+  return spam::bench::harness_finish();
 }

@@ -11,6 +11,8 @@
 #include <functional>
 
 #include "apps/splitc_apps.hpp"
+#include "driver/sweep.hpp"
+#include "harness.hpp"
 #include "micro.hpp"
 
 namespace {
@@ -84,13 +86,23 @@ std::vector<BenchDef> bench_defs() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  spam::bench::harness_init(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   const auto mach = machines();
   const auto defs = bench_defs();
-  // results[bench][machine]
+  // results[bench][machine], filled by the parallel sweep below; the
+  // registered benchmarks then only report the stored values.
   std::vector<std::vector<PhaseTimes>> results(
       defs.size(), std::vector<PhaseTimes>(mach.size()));
+
+  spam::driver::SweepRunner(spam::bench::options().jobs)
+      .run_indexed(defs.size() * mach.size(), [&](std::size_t i) {
+        const std::size_t b = i / mach.size();
+        const std::size_t m = i % mach.size();
+        SplitCWorld w(mach[m].cfg);
+        results[b][m] = defs[b].run(w);
+      });
 
   for (std::size_t b = 0; b < defs.size(); ++b) {
     for (std::size_t m = 0; m < mach.size(); ++m) {
@@ -98,9 +110,6 @@ int main(int argc, char** argv) {
           (std::string("Table5/") + defs[b].name + "/" + mach[m].name).c_str(),
           [&, b, m](benchmark::State& state) {
             for (auto _ : state) {
-              // Fresh machine name string may dangle; copy config instead.
-              SplitCWorld w(mach[m].cfg);
-              results[b][m] = defs[b].run(w);
               state.SetIterationTime(results[b][m].total_s);
             }
             state.counters["total_s"] = results[b][m].total_s;
@@ -129,7 +138,7 @@ int main(int argc, char** argv) {
     }
     tab.add_row(row);
   }
-  tab.print();
+  spam::bench::emit(tab);
 
   spam::report::Table fig(
       "Figure 4 — cpu / net split, normalized to the SP AM total");
@@ -148,11 +157,11 @@ int main(int argc, char** argv) {
     }
     fig.add_row(row);
   }
-  fig.print();
+  spam::bench::emit(fig);
 
   std::printf(
       "\nShape checks (paper): MPL >> AM on small-message sorts; MPL ~= AM "
       "on bulk runs;\nSP cpu phases shortest of all machines; SP AM net "
       "phase competitive with CM-5/CS-2\ndespite higher latency.\n");
-  return 0;
+  return spam::bench::harness_finish();
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "driver/sweep.hpp"
+
 namespace spam::bench {
 
 namespace {
@@ -21,7 +23,7 @@ std::vector<std::byte> filled(std::size_t n) {
 
 }  // namespace
 
-double am_rtt_us(int words, sphw::SpParams hw, am::AmParams amp) {
+static double am_rtt_us_raw(int words, sphw::SpParams hw, am::AmParams amp) {
   AmFixture f(2, hw, amp);
   am::Endpoint& e0 = f.net.ep(0);
   am::Endpoint& e1 = f.net.ep(1);
@@ -65,7 +67,7 @@ double am_rtt_us(int words, sphw::SpParams hw, am::AmParams amp) {
   return sim::to_usec(total) / kIters;
 }
 
-double raw_rtt_us(sphw::SpParams hw) {
+static double raw_rtt_us_raw(sphw::SpParams hw) {
   // Raw ping-pong straight on the adapter: header-only packets, no
   // sequence numbers, no retransmission state, no per-message flow
   // bookkeeping.  Fixed software costs mirror the AM request/reply paths
@@ -108,7 +110,7 @@ double raw_rtt_us(sphw::SpParams hw) {
   return sim::to_usec(total) / kIters;
 }
 
-double am_request_cost_us(int words) {
+static double am_request_cost_us_raw(int words) {
   // Time of a successful am_request_N call (includes the poll it performs;
   // paper Table 2 assumes that poll finds the network empty).
   AmFixture f(2, sphw::SpParams::thin_node(), {});
@@ -135,7 +137,7 @@ double am_request_cost_us(int words) {
   return sim::to_usec(req_cost);
 }
 
-double am_reply_cost_us(int words) {
+static double am_reply_cost_us_raw(int words) {
   // Time the am_reply_N call alone, invoked from a handler.
   AmFixture f(2, sphw::SpParams::thin_node(), {});
   am::Endpoint& e0 = f.net.ep(0);
@@ -168,7 +170,7 @@ double am_reply_cost_us(int words) {
   return sim::to_usec(reply_cost);
 }
 
-double am_poll_empty_us() {
+static double am_poll_empty_us_raw() {
   AmFixture f(2, sphw::SpParams::thin_node(), {});
   sim::Time cost = 0;
   f.world.spawn(0, [&](sim::NodeCtx& ctx) {
@@ -180,7 +182,7 @@ double am_poll_empty_us() {
   return sim::to_usec(cost);
 }
 
-double am_poll_per_msg_us() {
+static double am_poll_per_msg_us_raw() {
   AmFixture f(2, sphw::SpParams::thin_node(), {});
   am::Endpoint& e0 = f.net.ep(0);
   am::Endpoint& e1 = f.net.ep(1);
@@ -200,8 +202,8 @@ double am_poll_per_msg_us() {
   return sim::to_usec(poll_with_msg) - am_poll_empty_us();
 }
 
-double am_bandwidth_mbps(AmBwMode mode, std::size_t bytes, sphw::SpParams hw,
-                         am::AmParams amp) {
+static double am_bandwidth_mbps_raw(AmBwMode mode, std::size_t bytes,
+                                    sphw::SpParams hw, am::AmParams amp) {
   AmFixture f(2, hw, amp);
   am::Endpoint& e0 = f.net.ep(0);
   am::Endpoint& e1 = f.net.ep(1);
@@ -258,7 +260,7 @@ double am_bandwidth_mbps(AmBwMode mode, std::size_t bytes, sphw::SpParams hw,
   return static_cast<double>(bytes * count) / sim::to_sec(elapsed) / 1e6;
 }
 
-double mpl_rtt_us(sphw::SpParams hw, mpl::MplParams mp) {
+static double mpl_rtt_us_raw(sphw::SpParams hw, mpl::MplParams mp) {
   sim::World world(2);
   sphw::SpMachine machine(world, hw);
   mpl::MplNet net(machine, mp);
@@ -284,8 +286,8 @@ double mpl_rtt_us(sphw::SpParams hw, mpl::MplParams mp) {
   return sim::to_usec(total) / kIters;
 }
 
-double mpl_bandwidth_mbps(MplBwMode mode, std::size_t bytes,
-                          sphw::SpParams hw, mpl::MplParams mp) {
+static double mpl_bandwidth_mbps_raw(MplBwMode mode, std::size_t bytes,
+                                     sphw::SpParams hw, mpl::MplParams mp) {
   sim::World world(2);
   sphw::SpMachine machine(world, hw);
   mpl::MplNet net(machine, mp);
@@ -345,10 +347,10 @@ std::vector<std::size_t> figure3_sizes() {
   return sizes;
 }
 
-double mpi_hop_latency_us(const mpi::MpiWorldConfig& cfg, std::size_t bytes) {
+static double mpi_hop_latency_us_raw(const mpi::MpiWorldConfig& cfg,
+                                     std::size_t bytes) {
   mpi::MpiWorld w(cfg);
-  static std::vector<std::byte> buf;
-  buf.assign(std::max<std::size_t>(bytes, 1), std::byte{1});
+  std::vector<std::byte> buf(std::max<std::size_t>(bytes, 1), std::byte{1});
   sim::Time total = 0;
   constexpr int kWarm = 1, kIters = 4;
   const int ring = w.size();
@@ -371,16 +373,16 @@ double mpi_hop_latency_us(const mpi::MpiWorldConfig& cfg, std::size_t bytes) {
   return sim::to_usec(total) / kIters / ring;
 }
 
-double mpi_bandwidth_mbps(const mpi::MpiWorldConfig& cfg, std::size_t bytes) {
+static double mpi_bandwidth_mbps_raw(const mpi::MpiWorldConfig& cfg,
+                                     std::size_t bytes) {
   mpi::MpiWorldConfig c2 = cfg;
   c2.nodes = 2;
   mpi::MpiWorld w(c2);
   const std::size_t total =
       std::max<std::size_t>(bytes, std::min<std::size_t>(1 << 20, bytes * 32));
   const std::size_t count = total / bytes;
-  static std::vector<std::byte> src, dst;
-  src.assign(bytes, std::byte{2});
-  dst.assign(bytes, std::byte{0});
+  std::vector<std::byte> src(bytes, std::byte{2});
+  std::vector<std::byte> dst(bytes, std::byte{0});
   sim::Time elapsed = 0;
   w.run([&](mpi::Mpi& mpi) {
     if (mpi.rank() == 0) {
@@ -402,7 +404,8 @@ double mpi_bandwidth_mbps(const mpi::MpiWorldConfig& cfg, std::size_t bytes) {
   return static_cast<double>(bytes * count) / sim::to_sec(elapsed) / 1e6;
 }
 
-double am_store_hop_latency_us(std::size_t bytes, sphw::SpParams hw) {
+static double am_store_hop_latency_us_raw(std::size_t bytes,
+                                          sphw::SpParams hw) {
   // Reference curve: one-way am_store delivery time, measured at the
   // receiving handler, averaged over a short train.
   AmFixture f(2, hw, {});
@@ -436,6 +439,174 @@ double am_store_hop_latency_us(std::size_t bytes, sphw::SpParams hw) {
 
 double am_store_bandwidth_mbps(std::size_t bytes, sphw::SpParams hw) {
   return am_bandwidth_mbps(AmBwMode::kPipelinedAsyncStore, bytes, hw, {});
+}
+
+// --- Memoized public entry points -------------------------------------------
+// Each measurement is keyed on (bench id, every parameter field, size/mode)
+// and computed at most once per invocation via driver::ResultCache.  The
+// prewarm sweep (bench/harness.hpp) fills the cache across host threads;
+// the google-benchmark pass and the table builders then read it.  Params
+// are mixed field-by-field so padding bytes never reach the key.
+
+namespace {
+
+using driver::Hasher;
+
+Hasher& mix(Hasher& h, const sphw::SpParams& p) {
+  return h.mix(p.flush_line_us)
+      .mix(p.cache_line_bytes)
+      .mix(p.host_write_us_per_byte)
+      .mix(p.host_copy_us_per_byte)
+      .mix(p.mc_access_us)
+      .mix(p.mc_dma_mbps)
+      .mix(p.dma_setup_us)
+      .mix(p.i860_tx_us)
+      .mix(p.i860_rx_us)
+      .mix(p.link_mbps)
+      .mix(p.hop_latency_us)
+      .mix(p.send_fifo_entries)
+      .mix(p.recv_fifo_entries_per_node)
+      .mix(p.packet_data_bytes)
+      .mix(p.packet_header_bytes)
+      .mix(p.lazy_pop_batch);
+}
+
+Hasher& mix(Hasher& h, const am::AmParams& p) {
+  return h.mix(p.request_window_packets)
+      .mix(p.reply_window_packets)
+      .mix(p.chunk_packets)
+      .mix(p.explicit_ack_divisor)
+      .mix(p.keepalive_poll_threshold)
+      .mix(p.interrupt_driven)
+      .mix(p.interrupt_latency_us)
+      .mix(p.poll_empty_us)
+      .mix(p.per_msg_handling_us)
+      .mix(p.request_cpu_us)
+      .mix(p.reply_cpu_us)
+      .mix(p.per_word_us)
+      .mix(p.bookkeeping_us)
+      .mix(p.bulk_setup_us)
+      .mix(p.doorbell_batch_packets)
+      .mix(p.control_cpu_us);
+}
+
+Hasher& mix(Hasher& h, const mpl::MplParams& p) {
+  return h.mix(p.send_sw_us)
+      .mix(p.recv_sw_us)
+      .mix(p.per_packet_us)
+      .mix(p.sysbuf_copy_us_per_byte)
+      .mix(p.user_copy_us_per_byte)
+      .mix(p.poll_us)
+      .mix(p.credit_window)
+      .mix(p.credit_return_every);
+}
+
+Hasher& mix(Hasher& h, const mpi::MpiAmConfig& p) {
+  return h.mix(p.optimized)
+      .mix(p.peer_buffer_bytes)
+      .mix(p.eager_max)
+      .mix(p.hybrid)
+      .mix(p.hybrid_prefix)
+      .mix(p.binned_allocator)
+      .mix(p.batch_frees)
+      .mix(p.free_batch)
+      .mix(p.sw_send_us)
+      .mix(p.sw_recv_us)
+      .mix(p.copy_us_per_byte)
+      .mix(p.alloc_step_us);
+}
+
+Hasher& mix(Hasher& h, const mpif::MpiFConfig& p) {
+  h.mix(p.eager_max).mix(p.sw_send_us).mix(p.sw_recv_us);
+  mix(h, p.transport);
+  return h.mix(p.tuned_collectives);
+}
+
+Hasher& mix(Hasher& h, const mpi::MpiWorldConfig& p) {
+  h.mix(p.nodes).mix(p.impl).mix(p.seed);
+  mix(h, p.hw);
+  mix(h, p.am);
+  mix(h, p.am_cfg);
+  return mix(h, p.f_cfg);
+}
+
+double cached(const Hasher& h, const std::function<double()>& compute) {
+  return driver::ResultCache::instance().memoize(h.digest(), compute);
+}
+
+}  // namespace
+
+double am_rtt_us(int words, sphw::SpParams hw, am::AmParams amp) {
+  Hasher h("am_rtt_us");
+  mix(mix(h.mix(words), hw), amp);
+  return cached(h, [&] { return am_rtt_us_raw(words, hw, amp); });
+}
+
+double raw_rtt_us(sphw::SpParams hw) {
+  Hasher h("raw_rtt_us");
+  mix(h, hw);
+  return cached(h, [&] { return raw_rtt_us_raw(hw); });
+}
+
+double am_request_cost_us(int words) {
+  Hasher h("am_request_cost_us");
+  h.mix(words);
+  return cached(h, [&] { return am_request_cost_us_raw(words); });
+}
+
+double am_reply_cost_us(int words) {
+  Hasher h("am_reply_cost_us");
+  h.mix(words);
+  return cached(h, [&] { return am_reply_cost_us_raw(words); });
+}
+
+double am_poll_empty_us() {
+  Hasher h("am_poll_empty_us");
+  return cached(h, [] { return am_poll_empty_us_raw(); });
+}
+
+double am_poll_per_msg_us() {
+  Hasher h("am_poll_per_msg_us");
+  return cached(h, [] { return am_poll_per_msg_us_raw(); });
+}
+
+double am_bandwidth_mbps(AmBwMode mode, std::size_t bytes, sphw::SpParams hw,
+                         am::AmParams amp) {
+  Hasher h("am_bandwidth_mbps");
+  mix(mix(h.mix(mode).mix(bytes), hw), amp);
+  return cached(h, [&] { return am_bandwidth_mbps_raw(mode, bytes, hw, amp); });
+}
+
+double mpl_rtt_us(sphw::SpParams hw, mpl::MplParams mp) {
+  Hasher h("mpl_rtt_us");
+  mix(mix(h, hw), mp);
+  return cached(h, [&] { return mpl_rtt_us_raw(hw, mp); });
+}
+
+double mpl_bandwidth_mbps(MplBwMode mode, std::size_t bytes,
+                          sphw::SpParams hw, mpl::MplParams mp) {
+  Hasher h("mpl_bandwidth_mbps");
+  mix(mix(h.mix(mode).mix(bytes), hw), mp);
+  return cached(h,
+                [&] { return mpl_bandwidth_mbps_raw(mode, bytes, hw, mp); });
+}
+
+double mpi_hop_latency_us(const mpi::MpiWorldConfig& cfg, std::size_t bytes) {
+  Hasher h("mpi_hop_latency_us");
+  mix(h.mix(bytes), cfg);
+  return cached(h, [&] { return mpi_hop_latency_us_raw(cfg, bytes); });
+}
+
+double mpi_bandwidth_mbps(const mpi::MpiWorldConfig& cfg, std::size_t bytes) {
+  Hasher h("mpi_bandwidth_mbps");
+  mix(h.mix(bytes), cfg);
+  return cached(h, [&] { return mpi_bandwidth_mbps_raw(cfg, bytes); });
+}
+
+double am_store_hop_latency_us(std::size_t bytes, sphw::SpParams hw) {
+  Hasher h("am_store_hop_latency_us");
+  mix(h.mix(bytes), hw);
+  return cached(h, [&] { return am_store_hop_latency_us_raw(bytes, hw); });
 }
 
 }  // namespace spam::bench

@@ -1,0 +1,129 @@
+#include "driver/pool.hpp"
+
+#include <utility>
+
+namespace spam::driver {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lk(idle_mu_);
+    done_cv_.wait(lk, [&] { return queued_ == 0 && inflight_ == 0; });
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Job job) {
+  unsigned target;
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    target = static_cast<unsigned>(next_worker_++ % workers_.size());
+    ++queued_;
+  }
+  {
+    std::lock_guard<std::mutex> lk(workers_[target]->mu);
+    workers_[target]->jobs.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(idle_mu_);
+    done_cv_.wait(lk, [&] { return queued_ == 0 && inflight_ == 0; });
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+std::uint64_t ThreadPool::jobs_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) {
+    std::lock_guard<std::mutex> lk(w->mu);
+    n += w->executed;
+  }
+  return n;
+}
+
+unsigned ThreadPool::workers_used() const {
+  unsigned n = 0;
+  for (const auto& w : workers_) {
+    std::lock_guard<std::mutex> lk(w->mu);
+    if (w->executed > 0) ++n;
+  }
+  return n;
+}
+
+bool ThreadPool::try_pop(unsigned w, bool steal, Job* out) {
+  Worker& worker = *workers_[w];
+  std::lock_guard<std::mutex> lk(worker.mu);
+  if (worker.jobs.empty()) return false;
+  if (steal) {  // oldest job: most likely to be long and far from any cache
+    *out = std::move(worker.jobs.front());
+    worker.jobs.pop_front();
+  } else {  // own deque: freshest job, LIFO for locality
+    *out = std::move(worker.jobs.back());
+    worker.jobs.pop_back();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop(unsigned me) {
+  const unsigned n = static_cast<unsigned>(workers_.size());
+  for (;;) {
+    Job job;
+    bool got = try_pop(me, /*steal=*/false, &job);
+    for (unsigned k = 1; !got && k < n; ++k) {
+      got = try_pop((me + k) % n, /*steal=*/true, &job);
+    }
+    if (!got) {
+      std::unique_lock<std::mutex> lk(idle_mu_);
+      // queued_ may have raced ahead of the deques we just inspected;
+      // re-loop whenever anything is claimed queued.
+      if (queued_ > 0) continue;
+      if (stopping_) return;
+      work_cv_.wait(lk, [&] { return stopping_ || queued_ > 0; });
+      continue;
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(idle_mu_);
+      --queued_;
+      ++inflight_;
+    }
+    try {
+      job();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(idle_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(workers_[me]->mu);
+      ++workers_[me]->executed;
+    }
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lk(idle_mu_);
+      --inflight_;
+      idle = queued_ == 0 && inflight_ == 0;
+    }
+    if (idle) done_cv_.notify_all();
+  }
+}
+
+}  // namespace spam::driver

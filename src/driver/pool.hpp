@@ -1,0 +1,94 @@
+// ThreadPool: a work-stealing pool of host threads for running independent
+// simulations side by side.
+//
+// The simulator itself stays strictly single-threaded — one World, one
+// engine, one host thread.  What *is* parallel about the paper's results is
+// the sweep around the simulations: every table/figure is dozens of
+// shared-nothing point measurements.  This pool runs those points across
+// host cores.
+//
+// Design: one deque per worker.  A worker services its own deque LIFO (the
+// freshest job's Worlds and pools are hot in cache) and steals FIFO from
+// the other workers when it runs dry, so long jobs submitted early migrate
+// to idle threads instead of serializing behind their home worker.  Deques
+// are mutex-guarded rather than lock-free: sweep jobs are whole-simulation
+// coarse (micro- to milliseconds), so queue overhead is noise and the
+// simple locking is trivially clean under ThreadSanitizer.
+//
+// Exceptions: a job that throws does not kill the worker.  The first
+// escaped exception (in completion order) is captured and rethrown from
+// wait_idle() — SweepRunner layers deterministic *by-index* selection on
+// top of this; use it when rethrow order matters.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spam::driver {
+
+class ThreadPool {
+ public:
+  using Job = std::function<void()>;
+
+  /// Starts `threads` workers (0 means hardware_concurrency, min 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Waits for every submitted job to finish, then joins the workers.
+  /// Unlike wait_idle(), a pending captured exception is swallowed here
+  /// (destructors must not throw) — call wait_idle() first if you care.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a job.  Round-robins across worker deques; callable from any
+  /// thread, including from inside a running job.
+  void submit(Job job);
+
+  /// Blocks until all submitted jobs have finished.  If any job threw, the
+  /// first captured exception is rethrown (and cleared).
+  void wait_idle();
+
+  /// Jobs executed since construction (for tests and perf counters).
+  std::uint64_t jobs_executed() const;
+
+  /// How many distinct workers have executed at least one job (tests use
+  /// this to observe stealing; racy reads are fine for that purpose).
+  unsigned workers_used() const;
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<Job> jobs;
+    std::uint64_t executed = 0;  // guarded by mu
+  };
+
+  void worker_loop(unsigned me);
+  bool try_pop(unsigned w, bool steal, Job* out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Idle/wake machinery: queued_ counts jobs sitting in deques, inflight_
+  // counts jobs currently executing.  Both are guarded by idle_mu_ so the
+  // "all done" condition is race-free.
+  mutable std::mutex idle_mu_;
+  std::condition_variable work_cv_;  // workers wait here for jobs
+  std::condition_variable done_cv_;  // wait_idle() waits here
+  std::size_t queued_ = 0;
+  std::size_t inflight_ = 0;
+  std::size_t next_worker_ = 0;  // round-robin submit target
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace spam::driver

@@ -5,7 +5,7 @@
 
 namespace spam::report {
 
-void Table::print(std::FILE* out) const {
+std::string Table::render() const {
   // Column widths.
   std::vector<std::size_t> w;
   auto grow = [&](const std::vector<std::string>& row) {
@@ -17,23 +17,30 @@ void Table::print(std::FILE* out) const {
   grow(header_);
   for (const auto& r : rows_) grow(r);
 
-  std::fprintf(out, "\n== %s ==\n", title_.c_str());
-  auto print_row = [&](const std::vector<std::string>& row) {
+  std::string out = "\n== " + title_ + " ==\n";
+  auto append_row = [&](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < w.size(); ++i) {
       const std::string& cell = i < row.size() ? row[i] : std::string();
-      std::fprintf(out, "%c %-*s", i == 0 ? '|' : '|',
-                   static_cast<int>(w[i]), cell.c_str());
+      out += "| ";
+      out += cell;
+      out.append(w[i] - cell.size(), ' ');
     }
-    std::fprintf(out, " |\n");
+    out += " |\n";
   };
   if (!header_.empty()) {
-    print_row(header_);
+    append_row(header_);
     std::size_t total = 1;
     for (std::size_t cw : w) total += cw + 3;
-    std::string rule(total, '-');
-    std::fprintf(out, "%s\n", rule.c_str());
+    out.append(total, '-');
+    out += '\n';
   }
-  for (const auto& r : rows_) print_row(r);
+  for (const auto& r : rows_) append_row(r);
+  return out;
+}
+
+void Table::print(std::FILE* out) const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), out);
 }
 
 double r_infinity(const std::vector<BwPoint>& curve) {

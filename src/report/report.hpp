@@ -20,6 +20,14 @@ class Table {
   }
   void print(std::FILE* out = stdout) const;
 
+  /// Renders exactly what print() writes, as a string.  The parallel-sweep
+  /// determinism tests compare these byte-for-byte across --jobs settings.
+  std::string render() const;
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::string title_;
   std::vector<std::string> header_;
@@ -37,6 +45,8 @@ class PaperComparison {
     table_.add_row({metric, paper, measured, note});
   }
   void print(std::FILE* out = stdout) const { table_.print(out); }
+
+  const Table& table() const { return table_; }
 
  private:
   Table table_;

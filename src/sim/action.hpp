@@ -10,6 +10,9 @@
 //
 // Semantics: move-only, one-shot-friendly (invocation does not reset it),
 // empty after being moved from.  Not thread-safe, like the engine itself.
+// The fallback counter is thread-local so shared-nothing engines running
+// concurrently on different host threads (driver::SweepRunner) neither race
+// nor cross-pollute each other's zero-allocation assertions.
 #pragma once
 
 #include <cassert>
@@ -93,7 +96,9 @@ class InlineAction {
     }
   }
 
-  /// Process-wide count of closures that did not fit inline (monotonic).
+  /// Count of closures that did not fit inline (monotonic), per host
+  /// thread: an Engine lives on one thread, so this is effectively a
+  /// per-engine counter as long as each engine stays on its thread.
   static std::uint64_t heap_fallbacks() noexcept { return heap_fallbacks_; }
 
  private:
@@ -123,7 +128,7 @@ class InlineAction {
       [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); },
   };
 
-  static inline std::uint64_t heap_fallbacks_ = 0;
+  static inline thread_local std::uint64_t heap_fallbacks_ = 0;
 
   alignas(std::max_align_t) std::byte storage_[kInlineBytes];
   const Ops* ops_ = nullptr;

@@ -5,12 +5,28 @@
 #include <cstdlib>
 #include <utility>
 
+#if defined(SPAM_SIM_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace spam::sim {
 namespace {
 
 thread_local Fiber* g_current = nullptr;
 
 }  // namespace
+
+// TSan fiber bookkeeping.  The switch announcements live in the header
+// (force-inlined into the switching frames); only destruction is out of
+// line — no stack switch happens around it.
+#if defined(SPAM_SIM_TSAN_FIBERS)
+void Fiber::tsan_destroy() {
+  if (tsan_fiber_ != nullptr) {
+    __tsan_destroy_fiber(tsan_fiber_);
+    tsan_fiber_ = nullptr;
+  }
+}
+#endif
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes,
              std::string name)
@@ -23,6 +39,7 @@ Fiber::~Fiber() {
   // Destroying a suspended fiber abandons its stack.  That is deliberate:
   // teardown after a detected deadlock or a run_until() timeout must not
   // require unwinding parked programs.
+  tsan_destroy();
 }
 
 Fiber* Fiber::current() { return g_current; }
@@ -44,6 +61,7 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
   // context captured in the last resume().
   self->state_ = State::kFinished;
   g_current = nullptr;
+  self->tsan_before_switch_out();
   swapcontext(&self->ctx_, &self->caller_);
   // Unreachable: a finished fiber is never resumed.
   std::abort();
@@ -66,6 +84,7 @@ void Fiber::resume() {
   }
   state_ = State::kRunning;
   g_current = this;
+  tsan_before_switch_in();
   swapcontext(&caller_, &ctx_);
   // Back in the main context: the fiber either yielded or finished.
   if (state_ == State::kRunning) state_ = State::kSuspended;
@@ -77,6 +96,7 @@ void Fiber::yield() {
   assert(self != nullptr && "yield() must be called from inside a fiber");
   self->state_ = State::kSuspended;
   g_current = nullptr;
+  self->tsan_before_switch_out();
   swapcontext(&self->ctx_, &self->caller_);
   // Resumed again.
   self->state_ = State::kRunning;
@@ -151,6 +171,7 @@ void fiber_entry_dispatch() {
   // for good.  A finished fiber is never resumed, so sp_ goes dead here.
   self->state_ = Fiber::State::kFinished;
   g_current = nullptr;
+  self->tsan_before_switch_out();
   spam_sim_fiber_switch(&self->sp_, self->caller_sp_);
   std::abort();  // unreachable
 }
@@ -185,6 +206,7 @@ void Fiber::resume() {
   if (state_ == State::kCreated) prepare_stack();
   state_ = State::kRunning;
   g_current = this;
+  tsan_before_switch_in();
   spam_sim_fiber_switch(&caller_sp_, sp_);
   // Back in the main context: the fiber either yielded or finished.
   if (state_ == State::kRunning) state_ = State::kSuspended;
@@ -196,6 +218,7 @@ void Fiber::yield() {
   assert(self != nullptr && "yield() must be called from inside a fiber");
   self->state_ = State::kSuspended;
   g_current = nullptr;
+  self->tsan_before_switch_out();
   spam_sim_fiber_switch(&self->sp_, self->caller_sp_);
   // Resumed again.
   self->state_ = State::kRunning;

@@ -20,6 +20,23 @@
 #include <ucontext.h>
 #endif
 
+// Under ThreadSanitizer the manual stack switches must be announced via the
+// sanitizer fiber API, or TSan's shadow stack diverges from reality at the
+// first switch (crashes and phantom races).  The annotations also give each
+// fiber its own happens-before context, so the driver's thread pool can run
+// whole Worlds-with-fibers concurrently under TSan.
+#if defined(__SANITIZE_THREAD__)
+#define SPAM_SIM_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SPAM_SIM_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(SPAM_SIM_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -73,6 +90,28 @@ class Fiber {
   void prepare_stack();
   void* sp_ = nullptr;         // fiber's saved stack pointer when suspended
   void* caller_sp_ = nullptr;  // main context's stack pointer while running
+#endif
+#if defined(SPAM_SIM_TSAN_FIBERS)
+  // Force-inlined so the announcement executes in the *same instrumented
+  // frame* as the stack switch.  As out-of-line functions their
+  // __tsan_func_entry lands on one fiber's shadow call stack and the
+  // matching __tsan_func_exit pops the *other* fiber's (the switch happens
+  // mid-function), underflowing the shadow stack until libtsan crashes.
+  __attribute__((always_inline)) inline void tsan_before_switch_in() {
+    if (tsan_fiber_ == nullptr) tsan_fiber_ = __tsan_create_fiber(0);
+    tsan_caller_ = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(tsan_fiber_, 0);
+  }
+  __attribute__((always_inline)) inline void tsan_before_switch_out() {
+    __tsan_switch_to_fiber(tsan_caller_, 0);
+  }
+  void tsan_destroy();
+  void* tsan_fiber_ = nullptr;   // __tsan_create_fiber handle, lazily made
+  void* tsan_caller_ = nullptr;  // TSan fiber to return to on yield/finish
+#else
+  void tsan_before_switch_in() {}
+  void tsan_before_switch_out() {}
+  void tsan_destroy() {}
 #endif
   State state_ = State::kCreated;
 };

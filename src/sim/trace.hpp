@@ -1,5 +1,8 @@
 // Lightweight, optional event tracing.  Disabled by default; tests and
 // debugging sessions enable it per category.  Costs one branch when off.
+// Mask and sink are thread-local: enabling capture for the World running on
+// one host thread neither races with nor leaks lines into Worlds running
+// concurrently on other threads.
 #pragma once
 
 #include <algorithm>
@@ -54,8 +57,8 @@ class Trace {
   }
 
  private:
-  static inline unsigned mask_ = 0;
-  static inline std::string* sink_ = nullptr;
+  static inline thread_local unsigned mask_ = 0;
+  static inline thread_local std::string* sink_ = nullptr;
 };
 
 }  // namespace spam::sim

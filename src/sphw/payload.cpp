@@ -26,8 +26,23 @@ std::size_t class_index(std::size_t len) {
 }  // namespace
 
 PayloadPool& PayloadPool::instance() noexcept {
-  static PayloadPool pool;
+  static thread_local PayloadPool pool;
   return pool;
+}
+
+PayloadPool::~PayloadPool() {
+  // Thread exit: return the free-listed buffers to the host allocator.
+  // Buffers still referenced by live PayloadRefs (a contract violation —
+  // refs must not outlive their thread) are deliberately leaked rather
+  // than freed under someone's feet.
+  for (Header*& head : free_lists_) {
+    while (head != nullptr) {
+      Header* next = head->next_free;
+      head->~Header();
+      std::free(head);
+      head = next;
+    }
+  }
 }
 
 PayloadPool::Header* PayloadPool::header_of(std::byte* data) noexcept {

@@ -9,10 +9,14 @@
 // and saved retransmit chunk shares the same buffer with a refcount bump.
 //
 // Buffers come from per-size-class free lists (powers of two), so steady
-// state traffic performs no heap allocation.  The pool is a process-wide
-// singleton, matching the single-threaded engine.  None of this affects
-// virtual time: wire occupancy is driven by Packet::payload_bytes, never
-// by how the host stores the bytes.
+// state traffic performs no heap allocation.  The pool is a *per-thread*
+// singleton, matching the single-threaded engine: every host thread gets
+// its own arena, so shared-nothing Worlds running concurrently under
+// driver::SweepRunner never contend or race.  The thread-safety contract
+// is that a PayloadRef must be released on the thread that allocated it —
+// which holds as long as a World and everything it touches stay on one
+// thread.  None of this affects virtual time: wire occupancy is driven by
+// Packet::payload_bytes, never by how the host stores the bytes.
 //
 // Built to run with -fno-exceptions: allocation failure aborts rather
 // than throws, and out-of-range slices abort in debug builds.
@@ -85,10 +89,13 @@ class PayloadRef {
   std::uint32_t len_ = 0;
 };
 
-/// Process-wide arena of ref-counted payload buffers, binned by
-/// power-of-two size class and recycled through per-class free lists.
+/// Per-thread arena of ref-counted payload buffers, binned by power-of-two
+/// size class and recycled through per-class free lists.
 class PayloadPool {
  public:
+  /// The calling thread's arena (constructed on first use, freed at thread
+  /// exit).  PayloadRefs must not outlive or leave the thread whose pool
+  /// produced them.
   static PayloadPool& instance() noexcept;
 
   /// A fresh buffer of `len` bytes, uninitialized.  refcount == 1.
@@ -107,6 +114,7 @@ class PayloadPool {
 
  private:
   PayloadPool() = default;
+  ~PayloadPool();
 
   friend class PayloadRef;
 

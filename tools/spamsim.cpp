@@ -15,6 +15,11 @@
 //   spamsim nas   [--kernel bt|ft|lu|mg|sp] [--impl amopt|mpif] [--n N]
 //                 [--iters N] [--nodes N]
 //   spamsim fault [--drop 0.05] [--bytes N] [--seed S]
+//   spamsim fig3  [--jobs N] [--sizes full|quick]
+//
+// `--jobs N` (fig3) spreads the sweep's independent simulations across N
+// host threads via the driver::SweepRunner; the printed table is byte-for-
+// byte identical for any N (see docs/benchmarks.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +28,8 @@
 
 #include "apps/nas.hpp"
 #include "apps/splitc_apps.hpp"
+#include "driver/sweep.hpp"
+#include "harness.hpp"
 #include "micro.hpp"
 
 namespace {
@@ -51,9 +58,23 @@ struct Args {
 int usage() {
   std::fprintf(stderr,
                "usage: spamsim <rtt|raw-rtt|mpl-rtt|bw|mpi-lat|mpi-bw|sort|"
-               "nas|fault> [--key value ...]\n"
+               "nas|fault|fig3> [--key value ...]\n"
                "see the header of tools/spamsim.cpp for every flag\n");
   return 2;
+}
+
+int run_fig3(const Args& a) {
+  // The full Figure 3 sweep: warm every (curve, size) point in parallel,
+  // then render the table from the cache.  Output is independent of --jobs.
+  std::vector<std::size_t> sizes = spam::bench::figure3_sizes();
+  if (a.get("sizes", "full") == "quick") {
+    sizes = {16, 512, 8192, 65536, 1u << 20};
+  }
+  spam::driver::SweepRunner runner(static_cast<int>(a.num("jobs", 0)));
+  runner.run(spam::bench::fig3_points(sizes));
+  const std::string rendered = spam::bench::fig3_table(sizes).render();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  return 0;
 }
 
 spam::sphw::SpParams hw_of(const Args& a) {
@@ -222,6 +243,8 @@ int main(int argc, char** argv) {
     return run_nas(a);
   } else if (a.cmd == "fault") {
     return run_fault(a);
+  } else if (a.cmd == "fig3") {
+    return run_fig3(a);
   } else {
     return usage();
   }
