@@ -2,6 +2,7 @@
 // each endpoint binds to its node's context.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 

@@ -10,6 +10,7 @@
 // instrumentation: total time, communication-phase time, computation time.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,0 +1,78 @@
+// Clang -Wthread-safety capability annotations for the driver layer.
+//
+// The driver is the only part of the repo that runs real host threads, so
+// it is the only part where "which lock protects this member" is a
+// question worth making the compiler answer.  Under Clang these macros
+// expand to the thread-safety attributes and the `thread-safety` CMake
+// preset builds src/driver with -Werror=thread-safety: an unguarded read
+// of a SPAM_GUARDED_BY member is a build break, not a review comment.
+// Under GCC (which has no such analysis) they expand to nothing and the
+// code is unchanged.
+//
+// libstdc++'s std::mutex carries no capability attributes, so the
+// analysis cannot see through it.  Mutex below is the standard wrapper
+// from the Clang thread-safety docs: an annotated std::mutex, plus the
+// scoped MutexLock guard.  Condition variables use
+// std::condition_variable_any waiting on Mutex directly; the analysis
+// does not model the wait's unlock/relock (same blind spot as
+// std::condition_variable with unique_lock), which is safe — the lock is
+// held at entry and exit of wait().
+//
+// Policy (docs/static-analysis.md): every mutable member of a type
+// touched by more than one thread is either SPAM_GUARDED_BY a Mutex,
+// atomic, or documented thread-confined (the per-thread event-core state:
+// InlineAction::heap_fallbacks_, PayloadPool::instance(), Trace's
+// mask/sink are all thread_local by construction and audited under the
+// lint's fiber-tls rule instead).
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SPAM_TS_ATTR(x) __attribute__((x))
+#else
+#define SPAM_TS_ATTR(x)  // no-op outside Clang
+#endif
+
+#define SPAM_CAPABILITY(x) SPAM_TS_ATTR(capability(x))
+#define SPAM_SCOPED_CAPABILITY SPAM_TS_ATTR(scoped_lockable)
+#define SPAM_GUARDED_BY(x) SPAM_TS_ATTR(guarded_by(x))
+#define SPAM_PT_GUARDED_BY(x) SPAM_TS_ATTR(pt_guarded_by(x))
+#define SPAM_REQUIRES(...) SPAM_TS_ATTR(requires_capability(__VA_ARGS__))
+#define SPAM_EXCLUDES(...) SPAM_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define SPAM_ACQUIRE(...) SPAM_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define SPAM_RELEASE(...) SPAM_TS_ATTR(release_capability(__VA_ARGS__))
+#define SPAM_TRY_ACQUIRE(...) SPAM_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define SPAM_NO_THREAD_SAFETY_ANALYSIS SPAM_TS_ATTR(no_thread_safety_analysis)
+
+namespace spam::driver {
+
+/// std::mutex with capability annotations the analysis can track.
+class SPAM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SPAM_ACQUIRE() { mu_.lock(); }
+  void unlock() SPAM_RELEASE() { mu_.unlock(); }
+  bool try_lock() SPAM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock for Mutex (std::lock_guard cannot carry the annotations).
+class SPAM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SPAM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SPAM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace spam::driver

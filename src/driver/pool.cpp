@@ -19,8 +19,8 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lk(idle_mu_);
-    done_cv_.wait(lk, [&] { return queued_ == 0 && inflight_ == 0; });
+    MutexLock lk(idle_mu_);
+    while (queued_ != 0 || inflight_ != 0) done_cv_.wait(idle_mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -30,13 +30,14 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(Job job) {
   unsigned target;
   {
-    std::lock_guard<std::mutex> lk(idle_mu_);
+    MutexLock lk(idle_mu_);
     target = static_cast<unsigned>(next_worker_++ % workers_.size());
     ++queued_;
   }
   {
-    std::lock_guard<std::mutex> lk(workers_[target]->mu);
-    workers_[target]->jobs.push_back(std::move(job));
+    Worker& w = *workers_[target];
+    MutexLock lk(w.mu);
+    w.jobs.push_back(std::move(job));
   }
   work_cv_.notify_one();
 }
@@ -44,8 +45,8 @@ void ThreadPool::submit(Job job) {
 void ThreadPool::wait_idle() {
   std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lk(idle_mu_);
-    done_cv_.wait(lk, [&] { return queued_ == 0 && inflight_ == 0; });
+    MutexLock lk(idle_mu_);
+    while (queued_ != 0 || inflight_ != 0) done_cv_.wait(idle_mu_);
     err = std::exchange(first_error_, nullptr);
   }
   if (err) std::rethrow_exception(err);
@@ -54,7 +55,7 @@ void ThreadPool::wait_idle() {
 std::uint64_t ThreadPool::jobs_executed() const {
   std::uint64_t n = 0;
   for (const auto& w : workers_) {
-    std::lock_guard<std::mutex> lk(w->mu);
+    MutexLock lk(w->mu);
     n += w->executed;
   }
   return n;
@@ -63,7 +64,7 @@ std::uint64_t ThreadPool::jobs_executed() const {
 unsigned ThreadPool::workers_used() const {
   unsigned n = 0;
   for (const auto& w : workers_) {
-    std::lock_guard<std::mutex> lk(w->mu);
+    MutexLock lk(w->mu);
     if (w->executed > 0) ++n;
   }
   return n;
@@ -71,7 +72,7 @@ unsigned ThreadPool::workers_used() const {
 
 bool ThreadPool::try_pop(unsigned w, bool steal, Job* out) {
   Worker& worker = *workers_[w];
-  std::lock_guard<std::mutex> lk(worker.mu);
+  MutexLock lk(worker.mu);
   if (worker.jobs.empty()) return false;
   if (steal) {  // oldest job: most likely to be long and far from any cache
     *out = std::move(worker.jobs.front());
@@ -92,33 +93,34 @@ void ThreadPool::worker_loop(unsigned me) {
       got = try_pop((me + k) % n, /*steal=*/true, &job);
     }
     if (!got) {
-      std::unique_lock<std::mutex> lk(idle_mu_);
+      MutexLock lk(idle_mu_);
       // queued_ may have raced ahead of the deques we just inspected;
       // re-loop whenever anything is claimed queued.
       if (queued_ > 0) continue;
       if (stopping_) return;
-      work_cv_.wait(lk, [&] { return stopping_ || queued_ > 0; });
+      while (!stopping_ && queued_ == 0) work_cv_.wait(idle_mu_);
       continue;
     }
 
     {
-      std::lock_guard<std::mutex> lk(idle_mu_);
+      MutexLock lk(idle_mu_);
       --queued_;
       ++inflight_;
     }
     try {
       job();
     } catch (...) {
-      std::lock_guard<std::mutex> lk(idle_mu_);
+      MutexLock lk(idle_mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lk(workers_[me]->mu);
-      ++workers_[me]->executed;
+      Worker& w = *workers_[me];
+      MutexLock lk(w.mu);
+      ++w.executed;
     }
     bool idle;
     {
-      std::lock_guard<std::mutex> lk(idle_mu_);
+      MutexLock lk(idle_mu_);
       --inflight_;
       idle = queued_ == 0 && inflight_ == 0;
     }

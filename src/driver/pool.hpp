@@ -15,6 +15,11 @@
 // coarse (micro- to milliseconds), so queue overhead is noise and the
 // simple locking is trivially clean under ThreadSanitizer.
 //
+// Every mutex-protected member carries a Clang thread-safety annotation
+// (driver/annotations.hpp); the `thread-safety` preset builds this file
+// with -Werror=thread-safety so a lock-discipline slip is a compile error,
+// not a review comment.
+//
 // Exceptions: a job that throws does not kill the worker.  The first
 // escaped exception (in completion order) is captured and rethrown from
 // wait_idle() — SweepRunner layers deterministic *by-index* selection on
@@ -23,13 +28,15 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "driver/annotations.hpp"
 
 namespace spam::driver {
 
@@ -52,11 +59,11 @@ class ThreadPool {
 
   /// Enqueues a job.  Round-robins across worker deques; callable from any
   /// thread, including from inside a running job.
-  void submit(Job job);
+  void submit(Job job) SPAM_EXCLUDES(idle_mu_);
 
   /// Blocks until all submitted jobs have finished.  If any job threw, the
   /// first captured exception is rethrown (and cleared).
-  void wait_idle();
+  void wait_idle() SPAM_EXCLUDES(idle_mu_);
 
   /// Jobs executed since construction (for tests and perf counters).
   std::uint64_t jobs_executed() const;
@@ -67,12 +74,12 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::deque<Job> jobs;
-    std::uint64_t executed = 0;  // guarded by mu
+    Mutex mu;
+    std::deque<Job> jobs SPAM_GUARDED_BY(mu);
+    std::uint64_t executed SPAM_GUARDED_BY(mu) = 0;
   };
 
-  void worker_loop(unsigned me);
+  void worker_loop(unsigned me) SPAM_EXCLUDES(idle_mu_);
   bool try_pop(unsigned w, bool steal, Job* out);
 
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -81,14 +88,14 @@ class ThreadPool {
   // Idle/wake machinery: queued_ counts jobs sitting in deques, inflight_
   // counts jobs currently executing.  Both are guarded by idle_mu_ so the
   // "all done" condition is race-free.
-  mutable std::mutex idle_mu_;
-  std::condition_variable work_cv_;  // workers wait here for jobs
-  std::condition_variable done_cv_;  // wait_idle() waits here
-  std::size_t queued_ = 0;
-  std::size_t inflight_ = 0;
-  std::size_t next_worker_ = 0;  // round-robin submit target
-  bool stopping_ = false;
-  std::exception_ptr first_error_;
+  mutable Mutex idle_mu_;
+  std::condition_variable_any work_cv_;  // workers wait here for jobs
+  std::condition_variable_any done_cv_;  // wait_idle() waits here
+  std::size_t queued_ SPAM_GUARDED_BY(idle_mu_) = 0;
+  std::size_t inflight_ SPAM_GUARDED_BY(idle_mu_) = 0;
+  std::size_t next_worker_ SPAM_GUARDED_BY(idle_mu_) = 0;  // round-robin
+  bool stopping_ SPAM_GUARDED_BY(idle_mu_) = false;
+  std::exception_ptr first_error_ SPAM_GUARDED_BY(idle_mu_);
 };
 
 }  // namespace spam::driver

@@ -26,7 +26,7 @@ void SweepRunner::run_indexed(std::size_t n,
   // (payload pool, counters) bounded by the sweep that created it.
   ThreadPool pool(static_cast<unsigned>(jobs_));
 
-  std::mutex err_mu;
+  Mutex err_mu;
   std::size_t err_index = std::numeric_limits<std::size_t>::max();
   std::exception_ptr err;
 
@@ -35,7 +35,7 @@ void SweepRunner::run_indexed(std::size_t n,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(err_mu);
+        MutexLock lk(err_mu);
         if (i < err_index) {  // deterministic: lowest index wins
           err_index = i;
           err = std::current_exception();
@@ -55,7 +55,7 @@ ResultCache& ResultCache::instance() {
 double ResultCache::memoize(std::uint64_t key,
                             const std::function<double()>& compute) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
       ++stats_.hits;
@@ -64,12 +64,12 @@ double ResultCache::memoize(std::uint64_t key,
     ++stats_.misses;
   }
   const double v = compute();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return map_.emplace(key, v).first->second;  // first store wins
 }
 
 bool ResultCache::lookup(std::uint64_t key, double* out) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) return false;
   *out = it->second;
@@ -77,13 +77,13 @@ bool ResultCache::lookup(std::uint64_t key, double* out) const {
 }
 
 void ResultCache::clear() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   map_.clear();
   stats_ = Stats{};
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return stats_;
 }
 

@@ -25,11 +25,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
 
+#include "driver/annotations.hpp"
 #include "driver/pool.hpp"
 
 namespace spam::driver {
@@ -119,23 +119,24 @@ class ResultCache {
   /// miss.  The lock is dropped during compute, so concurrent misses on
   /// *different* keys proceed in parallel; concurrent misses on the same
   /// key may compute twice and the first store wins (identical values).
-  double memoize(std::uint64_t key, const std::function<double()>& compute);
+  double memoize(std::uint64_t key, const std::function<double()>& compute)
+      SPAM_EXCLUDES(mu_);
 
-  bool lookup(std::uint64_t key, double* out) const;
+  bool lookup(std::uint64_t key, double* out) const SPAM_EXCLUDES(mu_);
 
   /// Forgets everything (bench_sweep_perf uses this to time cold sweeps).
-  void clear();
+  void clear() SPAM_EXCLUDES(mu_);
 
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
   };
-  Stats stats() const;
+  Stats stats() const SPAM_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, double> map_;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<std::uint64_t, double> map_ SPAM_GUARDED_BY(mu_);
+  Stats stats_ SPAM_GUARDED_BY(mu_);
 };
 
 }  // namespace spam::driver

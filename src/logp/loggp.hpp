@@ -13,11 +13,13 @@
 // were lossless from the messaging layer's point of view.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/world.hpp"

@@ -3,6 +3,7 @@
 // Shared by the MPI-over-AM device and the MPI-F baseline.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <optional>

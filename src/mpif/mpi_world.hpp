@@ -4,6 +4,7 @@
 // figure benches.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>

@@ -3,9 +3,11 @@
 // (asymptotic rate r-infinity and half-power point n-1/2).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace spam::report {

@@ -23,6 +23,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/hot.hpp"
+
 namespace spam::sim {
 
 class InlineAction {
@@ -45,7 +47,7 @@ class InlineAction {
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, InlineAction> &&
                 std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  InlineAction(F&& fn) {  // NOLINT(google-explicit-constructor)
+  SPAM_HOT InlineAction(F&& fn) {  // NOLINT(google-explicit-constructor)
     using Fn = std::decay_t<F>;
     if constexpr (fits_inline<Fn>) {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
@@ -58,14 +60,14 @@ class InlineAction {
     }
   }
 
-  InlineAction(InlineAction&& other) noexcept : ops_(other.ops_) {
+  SPAM_HOT InlineAction(InlineAction&& other) noexcept : ops_(other.ops_) {
     if (ops_ != nullptr) {
       ops_->relocate(storage_, other.storage_);
       other.ops_ = nullptr;
     }
   }
 
-  InlineAction& operator=(InlineAction&& other) noexcept {
+  SPAM_HOT InlineAction& operator=(InlineAction&& other) noexcept {
     if (this != &other) {
       reset();
       ops_ = other.ops_;
@@ -84,12 +86,12 @@ class InlineAction {
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
-  void operator()() {
+  SPAM_HOT void operator()() {
     assert(ops_ != nullptr && "invoking an empty InlineAction");
     ops_->invoke(storage_);
   }
 
-  void reset() noexcept {
+  SPAM_HOT void reset() noexcept {
     if (ops_ != nullptr) {
       ops_->destroy(storage_);
       ops_ = nullptr;

@@ -14,8 +14,10 @@
 // let benchmarks and tests assert the zero-allocation property.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/action.hpp"

@@ -1,0 +1,27 @@
+// SPAM_HOT: the event-core hot-path contract, as an annotation.
+//
+// A function marked SPAM_HOT executes per simulated event (or per packet)
+// and must not allocate from the host heap in steady state.  The marker
+// does two jobs:
+//
+//   1. It is a compiler hint (`[[gnu::hot]]`) — hot functions are
+//      optimized more aggressively and laid out together.
+//   2. It is machine-checked: tools/spam_lint scans the body of every
+//      SPAM_HOT *definition* and rejects `new`, make_unique/make_shared,
+//      the malloc family, and std::function (rule `hot-alloc`), plus
+//      push_back/emplace_back that lacks a `// spam-lint: capacity-ok`
+//      audit comment (rule `hot-growth`).
+//
+// Audited exceptions — pool *growth* paths that allocate once and recycle
+// forever — live in tools/spam_lint/allowlist.txt, pinned to the exact
+// source line so any edit forces a re-audit.
+//
+// Place SPAM_HOT on definitions, not declarations: the checker needs the
+// body.  See docs/static-analysis.md for the full contract.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SPAM_HOT [[gnu::hot]]
+#else
+#define SPAM_HOT
+#endif

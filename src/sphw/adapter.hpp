@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <utility>
 
 #include "sim/engine.hpp"
 #include "sim/world.hpp"

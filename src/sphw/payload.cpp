@@ -5,6 +5,8 @@
 #include <cstring>
 #include <new>
 
+#include "sim/hot.hpp"
+
 namespace spam::sphw {
 namespace {
 
@@ -45,11 +47,11 @@ PayloadPool::~PayloadPool() {
   }
 }
 
-PayloadPool::Header* PayloadPool::header_of(std::byte* data) noexcept {
+SPAM_HOT PayloadPool::Header* PayloadPool::header_of(std::byte* data) noexcept {
   return std::launder(reinterpret_cast<Header*>(data - kHeaderSlot));
 }
 
-PayloadRef PayloadPool::allocate(std::size_t len) {
+SPAM_HOT PayloadRef PayloadPool::allocate(std::size_t len) {
   PayloadRef ref;
   if (len == 0) return ref;
   const std::size_t cls = class_index(len);
@@ -77,13 +79,13 @@ PayloadRef PayloadPool::allocate(std::size_t len) {
   return ref;
 }
 
-PayloadRef PayloadPool::copy_from(const void* src, std::size_t len) {
+SPAM_HOT PayloadRef PayloadPool::copy_from(const void* src, std::size_t len) {
   PayloadRef ref = allocate(len);
   if (len > 0) std::memcpy(ref.buf_, src, len);
   return ref;
 }
 
-void PayloadPool::release_buffer(std::byte* data) noexcept {
+SPAM_HOT void PayloadPool::release_buffer(std::byte* data) noexcept {
   Header* h = header_of(data);
   assert(h->refcount > 0);
   if (--h->refcount == 0) {
@@ -93,12 +95,12 @@ void PayloadPool::release_buffer(std::byte* data) noexcept {
   }
 }
 
-PayloadRef::PayloadRef(const PayloadRef& other) noexcept
+SPAM_HOT PayloadRef::PayloadRef(const PayloadRef& other) noexcept
     : buf_(other.buf_), off_(other.off_), len_(other.len_) {
   if (buf_ != nullptr) ++PayloadPool::header_of(buf_)->refcount;
 }
 
-PayloadRef& PayloadRef::operator=(const PayloadRef& other) noexcept {
+SPAM_HOT PayloadRef& PayloadRef::operator=(const PayloadRef& other) noexcept {
   if (this != &other) {
     if (other.buf_ != nullptr) {
       ++PayloadPool::header_of(other.buf_)->refcount;
@@ -111,7 +113,7 @@ PayloadRef& PayloadRef::operator=(const PayloadRef& other) noexcept {
   return *this;
 }
 
-PayloadRef& PayloadRef::operator=(PayloadRef&& other) noexcept {
+SPAM_HOT PayloadRef& PayloadRef::operator=(PayloadRef&& other) noexcept {
   if (this != &other) {
     release();
     buf_ = other.buf_;
@@ -124,22 +126,22 @@ PayloadRef& PayloadRef::operator=(PayloadRef&& other) noexcept {
   return *this;
 }
 
-void PayloadRef::release() noexcept {
+SPAM_HOT void PayloadRef::release() noexcept {
   if (buf_ != nullptr) {
     PayloadPool::instance().release_buffer(buf_);
   }
 }
 
-const std::byte* PayloadRef::data() const noexcept { return buf_ + off_; }
+SPAM_HOT const std::byte* PayloadRef::data() const noexcept { return buf_ + off_; }
 
-std::byte* PayloadRef::mutable_data() noexcept {
+SPAM_HOT std::byte* PayloadRef::mutable_data() noexcept {
   assert(buf_ != nullptr);
   assert(PayloadPool::header_of(buf_)->refcount == 1 &&
          "mutable_data() requires sole ownership");
   return buf_ + off_;
 }
 
-PayloadRef PayloadRef::slice(std::size_t off, std::size_t len) const noexcept {
+SPAM_HOT PayloadRef PayloadRef::slice(std::size_t off, std::size_t len) const noexcept {
   assert(off + len <= len_);
   PayloadRef r;
   if (buf_ != nullptr && len > 0) {

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/hot.hpp"
 #include "sim/trace.hpp"
 #include "sphw/adapter.hpp"
 
@@ -18,7 +19,7 @@ void SwitchFabric::attach(int node, Tb2Adapter* adapter) {
   adapters_[node] = adapter;
 }
 
-void SwitchFabric::transmit(Packet pkt) {
+SPAM_HOT void SwitchFabric::transmit(Packet pkt) {
   assert(pkt.dst >= 0 && pkt.dst < size() && adapters_[pkt.dst] != nullptr);
   if (drop_fn_ && drop_fn_(pkt)) {
     ++stats_.dropped_injected;

@@ -6,6 +6,9 @@
 // order on every node so handler indices agree across endpoints.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 #include "am/endpoint.hpp"
 #include "splitc/transport.hpp"
 

@@ -2,6 +2,9 @@
 // benchmarks "on" the CM-5, Meiko CS-2, and U-Net/ATM cluster of Table 4.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 #include "logp/loggp.hpp"
 #include "splitc/transport.hpp"
 

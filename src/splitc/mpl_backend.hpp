@@ -7,6 +7,8 @@
 // one message, split into bounded pieces.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "mpl/mpl.hpp"

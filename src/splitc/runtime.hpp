@@ -9,11 +9,13 @@
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <functional>
 #include <map>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "sim/world.hpp"

@@ -4,6 +4,7 @@
 // Figure 4 benches.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>

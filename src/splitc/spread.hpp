@@ -5,7 +5,9 @@
 // runtime's directory.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <vector>
 
 #include "splitc/runtime.hpp"

@@ -1,0 +1,17 @@
+// Null-safe byte comparison for tests that parameterize over message
+// length including 0: memcmp's pointer arguments are declared nonnull,
+// so passing an empty vector's data() (which may be nullptr) is UB even
+// with a zero count.  UBSan (-fsanitize=undefined) flags exactly that.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+namespace spam::test {
+
+inline bool bytes_equal(const void* a, const void* b, std::size_t n) {
+  if (n == 0) return true;
+  return std::memcmp(a, b, n) == 0;
+}
+
+}  // namespace spam::test

@@ -1,0 +1,11 @@
+// Fixture: a violation covered by tests/lint_fixtures/allowlist.txt.
+// With that allowlist, linting this file exits 0; without it, fiber-tls
+// fires.  tests/test_spam_lint.cpp checks both directions plus the
+// unused-entry notice.
+//
+// This file is linted, never compiled.
+namespace fixture {
+
+thread_local int audited_fixture_tls = 0;
+
+}  // namespace fixture

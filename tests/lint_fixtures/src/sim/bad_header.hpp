@@ -1,0 +1,15 @@
+// Fixture: header-hygiene violations.  No #pragma once, and std:: symbols
+// whose canonical headers are missing from the include set.
+// Lines with a trailing EXPECT marker are parsed by tests/test_spam_lint.cpp.
+//
+// This file is linted, never compiled.
+#include <cstdint>  // EXPECT: hdr-pragma-once
+
+namespace fixture {
+
+inline int count_entries(const std::vector<int>& v) {  // EXPECT: hdr-self-contained
+  assert(!v.empty());  // EXPECT: hdr-self-contained
+  return static_cast<int>(v.size());
+}
+
+}  // namespace fixture

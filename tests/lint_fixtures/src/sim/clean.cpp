@@ -1,0 +1,14 @@
+// Fixture: a file every rule should pass.  tests/test_spam_lint.cpp
+// asserts spam_lint exits 0 with no output on it.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline std::size_t total(const std::vector<int>& v) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) n += static_cast<std::size_t>(v[i]);
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,51 @@
+// Fixture: one representative violation per det-* pattern.  Lines the
+// linter must flag carry a trailing EXPECT marker naming the rule id;
+// tests/test_spam_lint.cpp parses those into the expected (line, rule)
+// set and compares it against the tool's actual output, so the fixture
+// stays self-describing when lines move.
+//
+// This file is linted, never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+inline long wallclock_type() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT: det-wallclock
+  return t.time_since_epoch().count();
+}
+
+inline long wallclock_call() {
+  return static_cast<long>(time(nullptr));  // EXPECT: det-wallclock
+}
+
+inline unsigned rand_type() {
+  std::mt19937 rng(7);  // EXPECT: det-rand
+  return rng();
+}
+
+inline int rand_call() {
+  return rand();  // EXPECT: det-rand
+}
+
+inline const char* env_call() {
+  return getenv("SPAM_FIXTURE");  // EXPECT: det-env
+}
+
+inline int suppressed_rand() {
+  return rand();  // spam-lint: allow(det-rand) fixture exercises suppression
+}
+
+inline int unordered_iteration() {
+  std::unordered_map<int, int> table;
+  int sum = 0;
+  for (const auto& kv : table) {  // EXPECT: det-unordered-iter
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,48 @@
+// Fixture: hot-alloc / hot-growth inside SPAM_HOT bodies, plus the three
+// sanctioned escapes (placement new, capacity-ok audit, non-hot code).
+// Lines with a trailing EXPECT marker are parsed by tests/test_spam_lint.cpp.
+//
+// This file is linted, never compiled.
+#include <functional>
+#include <memory>
+#include <vector>
+
+#define SPAM_HOT [[gnu::hot]]
+
+namespace fixture {
+
+SPAM_HOT inline int* hot_new() {
+  return new int[4];  // EXPECT: hot-alloc
+}
+
+SPAM_HOT inline std::unique_ptr<int> hot_make_unique() {
+  return std::make_unique<int>(1);  // EXPECT: hot-alloc
+}
+
+SPAM_HOT inline void* hot_malloc() {
+  return malloc(16);  // EXPECT: hot-alloc
+}
+
+SPAM_HOT inline void hot_std_function() {
+  std::function<void()> cb;  // EXPECT: hot-alloc
+  (void)cb;
+}
+
+SPAM_HOT inline void hot_unaudited_growth(std::vector<int>& v) {
+  v.push_back(1);  // EXPECT: hot-growth
+}
+
+SPAM_HOT inline void hot_audited_growth(std::vector<int>& v) {
+  // spam-lint: capacity-ok fixture pretends capacity was reserved up front
+  v.push_back(2);
+}
+
+SPAM_HOT inline int* hot_placement_new(void* slot) {
+  return new (slot) int(3);  // placement new reuses storage: allowed
+}
+
+inline int* cold_new() {
+  return new int(4);  // not SPAM_HOT: allocation is fine here
+}
+
+}  // namespace fixture

@@ -8,6 +8,8 @@
 
 #include "am/net.hpp"
 
+#include "bytes_equal.hpp"
+
 namespace spam::am {
 namespace {
 
@@ -60,7 +62,7 @@ TEST_P(AmStoreSize, StoreDeliversExactBytes) {
   EXPECT_TRUE(handled);
   EXPECT_EQ(handled_len, len);
   EXPECT_EQ(handled_arg, 0xbeefu);
-  EXPECT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+  EXPECT_TRUE(spam::test::bytes_equal(dst.data(), src.data(), len));
   for (std::size_t i = len; i < dst.size(); ++i) {
     EXPECT_EQ(dst[i], std::byte{0}) << "overwrite beyond destination at " << i;
   }
@@ -87,7 +89,7 @@ TEST_P(AmGetSize, GetFetchesExactBytes) {
   });
   f.world.run();
 
-  EXPECT_EQ(std::memcmp(local.data(), remote.data(), len), 0);
+  EXPECT_TRUE(spam::test::bytes_equal(local.data(), remote.data(), len));
   for (std::size_t i = len; i < local.size(); ++i) {
     EXPECT_EQ(local[i], std::byte{0});
   }
@@ -114,7 +116,7 @@ TEST(AmBulk, StoreAsyncCompletionFiresAfterAck) {
   });
   f.world.run();
   EXPECT_TRUE(completed);
-  EXPECT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+  EXPECT_TRUE(spam::test::bytes_equal(dst.data(), src.data(), len));
 }
 
 TEST(AmBulk, ManyAsyncStoresAllLandInOrder) {
@@ -147,7 +149,7 @@ TEST(AmBulk, ManyAsyncStoresAllLandInOrder) {
   });
   f.world.run();
 
-  EXPECT_EQ(std::memcmp(dst.data(), src.data(), src.size()), 0);
+  EXPECT_TRUE(spam::test::bytes_equal(dst.data(), src.data(), src.size()));
   ASSERT_EQ(order.size(), static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) EXPECT_EQ(order[i], i) << "ordered delivery";
 }
@@ -180,7 +182,7 @@ TEST(AmBulk, StoreThenRequestStaysOrdered) {
   });
   f.world.run();
   EXPECT_TRUE(order_ok) << "request overtook bulk data";
-  EXPECT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+  EXPECT_TRUE(spam::test::bytes_equal(dst.data(), src.data(), len));
 }
 
 TEST(AmBulk, ChunkCountMatchesProtocol) {
@@ -197,7 +199,7 @@ TEST(AmBulk, ChunkCountMatchesProtocol) {
   });
   f.world.spawn(1, [&](sim::NodeCtx&) {
     f.net.ep(1).poll_until([&] {
-      return std::memcmp(dst.data(), src.data(), len) == 0;
+      return spam::test::bytes_equal(dst.data(), src.data(), len);
     });
   });
   f.world.run();
@@ -229,7 +231,7 @@ TEST(AmBulk, AsyncStoreBandwidthMatchesPaper) {
   const double mbps = static_cast<double>(len) / sim::to_sec(elapsed) / 1e6;
   EXPECT_GT(mbps, 31.0);
   EXPECT_LT(mbps, 36.5);
-  EXPECT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+  EXPECT_TRUE(spam::test::bytes_equal(dst.data(), src.data(), len));
 }
 
 TEST(AmBulk, GetIntoOwnBufferWhileServingGets) {
@@ -249,8 +251,8 @@ TEST(AmBulk, GetIntoOwnBufferWhileServingGets) {
     f.net.ep(1).poll_until([&] { return d0 && d1; });
   });
   f.world.run();
-  EXPECT_EQ(std::memcmp(rb.data(), b.data(), len), 0);
-  EXPECT_EQ(std::memcmp(ra.data(), a.data(), len), 0);
+  EXPECT_TRUE(spam::test::bytes_equal(rb.data(), b.data(), len));
+  EXPECT_TRUE(spam::test::bytes_equal(ra.data(), a.data(), len));
 }
 
 }  // namespace

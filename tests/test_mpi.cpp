@@ -9,6 +9,8 @@
 
 #include "mpif/mpi_world.hpp"
 
+#include "bytes_equal.hpp"
+
 namespace spam::mpi {
 namespace {
 
@@ -57,7 +59,7 @@ TEST_P(MpiImplsAndSizes, SendRecvRoundTripsBytes) {
       EXPECT_EQ(st.bytes, len);
     }
   });
-  EXPECT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+  EXPECT_TRUE(spam::test::bytes_equal(dst.data(), src.data(), len));
   for (std::size_t i = len; i < dst.size(); ++i) {
     EXPECT_EQ(dst[i], std::byte{0});
   }
@@ -131,8 +133,8 @@ TEST_P(MpiImpls, IsendIrecvOverlapBothDirections) {
     mpi.wait(ss);
     mpi.wait(rr);
   });
-  EXPECT_EQ(std::memcmp(r0.data(), s1.data(), len), 0);
-  EXPECT_EQ(std::memcmp(r1.data(), s0.data(), len), 0);
+  EXPECT_TRUE(spam::test::bytes_equal(r0.data(), s1.data(), len));
+  EXPECT_TRUE(spam::test::bytes_equal(r1.data(), s0.data(), len));
 }
 
 TEST_P(MpiImpls, ManyEagerSendsExhaustAndRecycleBuffer) {
@@ -154,7 +156,7 @@ TEST_P(MpiImpls, ManyEagerSendsExhaustAndRecycleBuffer) {
       }
     }
   });
-  EXPECT_EQ(std::memcmp(dst.data(), src.data(), src.size()), 0);
+  EXPECT_TRUE(spam::test::bytes_equal(dst.data(), src.data(), src.size()));
 }
 
 TEST_P(MpiImpls, SendrecvRing) {

@@ -12,6 +12,8 @@
 
 #include "mpif/mpi_world.hpp"
 
+#include "bytes_equal.hpp"
+
 namespace spam::mpi {
 namespace {
 
@@ -149,7 +151,7 @@ TEST_P(MpiFuzz, RandomTrafficDeliveredExactly) {
         continue;
       }
       const auto want = payload_of(pr.src, me, pr.k, pr.len);
-      if (std::memcmp(pr.buf.data(), want.data(), pr.len) != 0) {
+      if (!spam::test::bytes_equal(pr.buf.data(), want.data(), pr.len)) {
         failures.push_back("rank " + std::to_string(me) + ": bad bytes from " +
                            std::to_string(pr.src) + " msg " +
                            std::to_string(pr.k));

@@ -7,6 +7,8 @@
 
 #include "mpl/mpl.hpp"
 
+#include "bytes_equal.hpp"
+
 namespace spam::mpl {
 namespace {
 
@@ -42,7 +44,7 @@ TEST_P(MplSize, BsendBrecvRoundTripsBytes) {
     EXPECT_EQ(got, len);
   });
   f.world.run();
-  EXPECT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+  EXPECT_TRUE(spam::test::bytes_equal(dst.data(), src.data(), len));
   for (std::size_t i = len; i < dst.size(); ++i) {
     EXPECT_EQ(dst[i], std::byte{0});
   }
@@ -125,8 +127,8 @@ TEST(Mpl, NonblockingSendRecvOverlap) {
     f.net.ep(1).mpc_wait(rh);
   });
   f.world.run();
-  EXPECT_EQ(std::memcmp(r0.data(), s1.data(), len), 0);
-  EXPECT_EQ(std::memcmp(r1.data(), s0.data(), len), 0);
+  EXPECT_TRUE(spam::test::bytes_equal(r0.data(), s1.data(), len));
+  EXPECT_TRUE(spam::test::bytes_equal(r1.data(), s0.data(), len));
 }
 
 TEST(Mpl, UnexpectedMessagesBufferUntilPosted) {
@@ -218,7 +220,7 @@ TEST(Mpl, CreditWindowNeverOverflowsReceiveFifo) {
     f.net.ep(1).mpc_brecv(dst.data(), len, 0, 0);
   });
   f.world.run();
-  EXPECT_EQ(std::memcmp(dst.data(), src.data(), len), 0);
+  EXPECT_TRUE(spam::test::bytes_equal(dst.data(), src.data(), len));
   EXPECT_EQ(f.machine.adapter(1).stats().rx_dropped_fifo_full, 0u);
   EXPECT_GT(f.net.ep(1).stats().credit_returns, 0u);
 }

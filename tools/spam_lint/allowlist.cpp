@@ -1,0 +1,73 @@
+#include "allowlist.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace spam::lint {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+bool Allowlist::load(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open allowlist '" + path + "'";
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    AllowEntry e;
+    if (!(ss >> e.rule)) continue;  // blank/comment line
+    if (!(ss >> e.path_suffix)) {
+      *error = path + ":" + std::to_string(lineno) +
+               ": allowlist entry needs `<rule> <path-suffix> [<substring>]`";
+      return false;
+    }
+    std::string rest;
+    std::getline(ss, rest);
+    const std::size_t a = rest.find_first_not_of(" \t");
+    if (a != std::string::npos) {
+      const std::size_t b = rest.find_last_not_of(" \t");
+      e.line_substring = rest.substr(a, b - a + 1);
+    }
+    entries_.push_back(Entry{std::move(e), false});
+  }
+  return true;
+}
+
+bool Allowlist::covers(const Violation& v, const std::string& rel_path,
+                       const std::string& line_text) {
+  for (Entry& entry : entries_) {
+    const AllowEntry& e = entry.e;
+    if (e.rule != v.rule) continue;
+    if (!ends_with(rel_path, e.path_suffix)) continue;
+    if (!e.line_substring.empty() &&
+        line_text.find(e.line_substring) == std::string::npos) {
+      continue;
+    }
+    entry.used = true;
+    return true;
+  }
+  return false;
+}
+
+std::vector<AllowEntry> Allowlist::unused() const {
+  std::vector<AllowEntry> out;
+  for (const Entry& entry : entries_) {
+    if (!entry.used) out.push_back(entry.e);
+  }
+  return out;
+}
+
+}  // namespace spam::lint

@@ -1,0 +1,50 @@
+// spam_lint allowlist: audited exceptions to the rules.
+//
+// File format (tools/spam_lint/allowlist.txt): one entry per line,
+//
+//   <rule-id>  <path-suffix>  [<substring of the offending source line>]
+//
+// '#' starts a comment.  An entry suppresses a violation when the rule id
+// matches exactly, the violating file's relative path ends with
+// <path-suffix>, and (if given) the raw source line contains <substring>.
+// The substring keeps entries pinned to the audited construct: if the
+// line changes, the entry stops matching and the violation resurfaces for
+// re-audit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace spam::lint {
+
+struct AllowEntry {
+  std::string rule;
+  std::string path_suffix;
+  std::string line_substring;  // empty = match any line in the file
+};
+
+class Allowlist {
+ public:
+  /// Parses `path`.  Returns false (and sets *error) on I/O failure or a
+  /// malformed line.
+  bool load(const std::string& path, std::string* error);
+
+  /// True if `v` in file `rel_path` (with raw source `line_text`) is
+  /// covered by an entry.  Matched entries are marked used.
+  bool covers(const Violation& v, const std::string& rel_path,
+              const std::string& line_text);
+
+  /// Entries that never matched anything — stale audits worth deleting.
+  std::vector<AllowEntry> unused() const;
+
+ private:
+  struct Entry {
+    AllowEntry e;
+    bool used = false;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace spam::lint

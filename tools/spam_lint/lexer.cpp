@@ -1,0 +1,185 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace spam::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Records any `spam-lint: <marker> [<marker>...]` directives found in a
+// comment body against `line`.
+void scan_markers(const std::string& comment, int line, LexedFile* out) {
+  const std::string key = "spam-lint:";
+  std::size_t at = comment.find(key);
+  if (at == std::string::npos) return;
+  at += key.size();
+  while (at < comment.size()) {
+    while (at < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[at]))) {
+      ++at;
+    }
+    std::size_t end = at;
+    while (end < comment.size() &&
+           !std::isspace(static_cast<unsigned char>(comment[end]))) {
+      ++end;
+    }
+    if (end == at) break;
+    const std::string word = comment.substr(at, end - at);
+    // Free-text rationale is allowed after the markers; stop at the first
+    // word that is not marker-shaped (markers use [a-z-()] only).
+    bool markerish = true;
+    for (char c : word) {
+      if (!(std::islower(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '(' || c == ')' || c == '_')) {
+        markerish = false;
+        break;
+      }
+    }
+    if (!markerish) break;
+    out->markers[line].insert(word);
+    at = end;
+  }
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& text) {
+  LexedFile out;
+
+  // Split raw lines first: rules and the allowlist match on line text.
+  {
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      std::size_t nl = text.find('\n', start);
+      if (nl == std::string::npos) {
+        out.lines.push_back(text.substr(start));
+        break;
+      }
+      out.lines.push_back(text.substr(start, nl - start));
+      start = nl + 1;
+    }
+  }
+
+  int line = 1;
+  bool in_directive = false;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  auto push = [&](TokKind kind, std::string t) {
+    out.tokens.push_back(Token{kind, std::move(t), line, in_directive});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+
+    if (c == '\n') {
+      // A directive ends at an unescaped newline.
+      if (in_directive && !(i > 0 && text[i - 1] == '\\')) {
+        in_directive = false;
+      }
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      scan_markers(text.substr(i, end - i), line, &out);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      const std::string body = text.substr(i, end - i);
+      scan_markers(body, line, &out);
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      i = end == n ? n : end + 2;
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".  Must be skipped verbatim
+    // (no escape processing) or embedded quotes derail the lexer.
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && text[p] != '(' && delim.size() < 16) {
+        delim.push_back(text[p++]);
+      }
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = text.find(close, p);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      i = end == n ? n : end + close.size();
+      continue;
+    }
+
+    // String / char literal (with escape handling).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t p = i + 1;
+      while (p < n && text[p] != quote) {
+        if (text[p] == '\\' && p + 1 < n) ++p;
+        if (text[p] == '\n') ++line;
+        ++p;
+      }
+      i = p == n ? n : p + 1;
+      continue;
+    }
+
+    if (c == '#') {
+      in_directive = true;
+      push(TokKind::kPunct, "#");
+      ++i;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t p = i + 1;
+      while (p < n && ident_char(text[p])) ++p;
+      push(TokKind::kIdent, text.substr(i, p - i));
+      i = p;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t p = i + 1;
+      // Good enough for rule purposes: digits, hex, suffixes, exponents,
+      // separators and dots all fold into one number token.
+      while (p < n && (ident_char(text[p]) || text[p] == '.' ||
+                       text[p] == '\'' ||
+                       ((text[p] == '+' || text[p] == '-') &&
+                        (text[p - 1] == 'e' || text[p - 1] == 'E' ||
+                         text[p - 1] == 'p' || text[p - 1] == 'P')))) {
+        ++p;
+      }
+      push(TokKind::kNumber, text.substr(i, p - i));
+      i = p;
+      continue;
+    }
+
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+
+  return out;
+}
+
+}  // namespace spam::lint

@@ -1,0 +1,49 @@
+// spam_lint lexer: a comment/string-stripping tokenizer for C++ sources.
+//
+// This is deliberately not a real C++ front end.  The rules spam_lint
+// enforces (see rules.hpp) key off identifiers, punctuation and a little
+// brace structure, so a flat token stream with line numbers is enough —
+// and it keeps the tool dependency-free and fast.  What the lexer *must*
+// get right is never emitting tokens from inside comments, string
+// literals (including raw strings — fiber.cpp carries an asm blob in one)
+// or character literals, or every rule would fire on prose.
+//
+// Comments are not discarded entirely: lines whose comments carry a
+// `spam-lint:` marker (inline suppressions, capacity annotations) are
+// recorded so the rules can honor them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace spam::lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (incl. suffixes)
+  kPunct,   // one punctuation character
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;          // 1-based
+  bool in_directive = false;  // part of a preprocessor line
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<std::string> lines;  // raw source lines, 0-based index
+  // Markers parsed from `// spam-lint: ...` comments, keyed by 1-based
+  // line.  A marker is the token after "spam-lint:", e.g. "capacity-ok"
+  // or "allow(hot-alloc)".
+  std::unordered_map<int, std::unordered_set<std::string>> markers;
+};
+
+/// Tokenizes `text` (the contents of `path`, used only for messages).
+LexedFile lex(const std::string& text);
+
+}  // namespace spam::lint

@@ -1,0 +1,166 @@
+// spam_lint: the repo's determinism & hot-path invariant checker.
+//
+//   spam_lint [--root DIR] [--allowlist FILE] [--no-default-allowlist]
+//             <file-or-dir>...
+//
+// Lints every .hpp/.h/.cpp/.cc under the given paths.  Violations print as
+//
+//   file:line: rule-id message
+//
+// relative to --root (default: the current directory), which is also the
+// base for rule scoping (e.g. determinism rules fire only under src/sim,
+// src/sphw, src/am, src/mpi, src/splitc).  Exit codes: 0 clean, 1 at
+// least one violation, 2 usage or I/O error — CI treats both nonzero
+// codes as failure but can distinguish "found problems" from "broken
+// invocation".
+//
+// This is a host-side tool: it may read the filesystem and allocate
+// freely.  It is not part of the simulation and none of the determinism
+// rules apply to it — but its *output* is deterministic (files and
+// violations are sorted) so CI diffs are stable.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "allowlist.hpp"
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string to_rel(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty()) rel = p;
+  return rel.generic_string();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--allowlist FILE] "
+               "[--no-default-allowlist] <file-or-dir>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string allowlist_path;
+  bool use_default_allowlist = true;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      root = fs::path(argv[i]);
+    } else if (arg == "--allowlist") {
+      if (++i >= argc) return usage(argv[0]);
+      allowlist_path = argv[i];
+    } else if (arg == "--no-default-allowlist") {
+      use_default_allowlist = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "spam_lint: unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage(argv[0]);
+
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "spam_lint: bad --root: %s\n", ec.message().c_str());
+    return 2;
+  }
+
+  spam::lint::Allowlist allowlist;
+  if (allowlist_path.empty() && use_default_allowlist) {
+    const fs::path def = root / "tools" / "spam_lint" / "allowlist.txt";
+    if (fs::exists(def, ec)) allowlist_path = def.string();
+  }
+  if (!allowlist_path.empty()) {
+    std::string error;
+    if (!allowlist.load(allowlist_path, &error)) {
+      std::fprintf(stderr, "spam_lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  // Expand inputs into a sorted, de-duplicated file list: deterministic
+  // output regardless of directory enumeration order.
+  std::vector<fs::path> files;
+  for (const fs::path& in : inputs) {
+    if (fs::is_directory(in, ec)) {
+      for (fs::recursive_directory_iterator it(in, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && has_lintable_extension(it->path())) {
+          files.push_back(fs::canonical(it->path(), ec));
+        }
+      }
+    } else if (fs::is_regular_file(in, ec)) {
+      files.push_back(fs::canonical(in, ec));
+    } else {
+      std::fprintf(stderr, "spam_lint: no such file or directory: %s\n",
+                   in.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  int violations = 0;
+  int files_linted = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "spam_lint: cannot read %s\n",
+                   file.string().c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string rel = to_rel(file, root);
+
+    const spam::lint::LexedFile lexed = spam::lint::lex(buf.str());
+    ++files_linted;
+    for (const spam::lint::Violation& v :
+         spam::lint::run_rules(lexed, rel)) {
+      const std::size_t idx = static_cast<std::size_t>(v.line - 1);
+      const std::string line_text =
+          idx < lexed.lines.size() ? lexed.lines[idx] : std::string();
+      if (allowlist.covers(v, rel, line_text)) continue;
+      std::printf("%s:%d: %s %s\n", rel.c_str(), v.line, v.rule.c_str(),
+                  v.message.c_str());
+      ++violations;
+    }
+  }
+
+  for (const spam::lint::AllowEntry& e : allowlist.unused()) {
+    std::fprintf(stderr,
+                 "spam_lint: note: unused allowlist entry: %s %s %s\n",
+                 e.rule.c_str(), e.path_suffix.c_str(),
+                 e.line_substring.c_str());
+  }
+  std::fprintf(stderr, "spam_lint: %d file(s), %d violation(s)\n",
+               files_linted, violations);
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// spam_lint rules: the repo's load-bearing invariants, as machine checks.
+//
+// Rule ids (stable; the allowlist and inline markers key off them):
+//
+//   det-wallclock       wall-clock reads inside the simulation layers
+//   det-rand            host RNGs inside the simulation layers (use sim::Rng)
+//   det-env             getenv/secure_getenv inside the simulation layers
+//   det-unordered-iter  range-for over an unordered container declared in
+//                       the same file — iteration order is host-dependent
+//                       and must never feed results
+//   hot-alloc           heap-allocating construct (`new`, make_unique/shared,
+//                       malloc-family, std::function) inside a SPAM_HOT
+//                       function
+//   hot-growth          push_back/emplace_back inside a SPAM_HOT function
+//                       without a `// spam-lint: capacity-ok` annotation
+//   fiber-tls           a thread_local declaration in src/ — a raw
+//                       thread_local read cached in a register across a
+//                       Fiber switch goes stale; every such variable must
+//                       be audited into the allowlist
+//   fiber-tsan-inline   __tsan_*fiber announcement called from a function
+//                       not marked always_inline (out-of-line helpers
+//                       unbalance TSan's shadow call stacks — the PR 2 bug)
+//   hdr-pragma-once     a header whose first directive is not #pragma once
+//   hdr-self-contained  a header using a std:: symbol whose canonical
+//                       <header> it does not itself include
+//
+// Scoping: the det-* rules apply only under the deterministic simulation
+// roots (src/sim, src/sphw, src/am, src/mpi, src/splitc); fiber-* rules
+// apply under src/; hot-* rules apply wherever SPAM_HOT appears; hdr-*
+// rules apply to every .hpp.  Paths are evaluated relative to --root.
+//
+// Suppression: a violation is dropped when (a) the allowlist has a matching
+// entry (see allowlist.hpp), or (b) the line or the line above carries
+// `// spam-lint: allow(<rule-id>)`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace spam::lint {
+
+struct Violation {
+  std::string rule;     // rule id, e.g. "hot-alloc"
+  int line = 0;         // 1-based
+  std::string message;  // human-readable explanation
+};
+
+/// Runs every applicable rule over one lexed file.  `rel_path` is the
+/// path relative to the lint root, using '/' separators.
+std::vector<Violation> run_rules(const LexedFile& file,
+                                 const std::string& rel_path);
+
+}  // namespace spam::lint
