@@ -67,6 +67,9 @@ int main(int argc, char** argv) {
   const auto [parallel_render, parallel_s] = timed_sweep(jobs, sizes);
   const bool identical = serial_render == parallel_render;
   const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
+  // On a 1-core host the two-thread run can only time-slice, so "speedup"
+  // is informational (thread-pool overhead), not a parallelism regression.
+  const bool gated_by_cores = host_cores == 1;
 
   std::fwrite(parallel_render.data(), 1, parallel_render.size(), stdout);
 
@@ -76,10 +79,11 @@ int main(int argc, char** argv) {
                 "  \"host_cores\": %u,\n  \"jobs\": %d,\n"
                 "  \"points\": %zu,\n  \"serial_s\": %.6f,\n"
                 "  \"parallel_s\": %.6f,\n  \"speedup\": %.3f,\n"
+                "  \"gated_by_cores\": %s,\n"
                 "  \"identical_output\": %s,\n  \"quick\": %s\n}\n",
                 host_cores, jobs, sizes.size() * 6, serial_s, parallel_s,
-                speedup, identical ? "true" : "false",
-                quick ? "true" : "false");
+                speedup, gated_by_cores ? "true" : "false",
+                identical ? "true" : "false", quick ? "true" : "false");
   json += buf;
 
   std::fputs(json.c_str(), stdout);

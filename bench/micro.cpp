@@ -110,10 +110,10 @@ static double raw_rtt_us_raw(sphw::SpParams hw) {
   return sim::to_usec(total) / kIters;
 }
 
-static double am_request_cost_us_raw(int words) {
+static double am_request_cost_us_raw(int words, sphw::SpParams hw) {
   // Time of a successful am_request_N call (includes the poll it performs;
   // paper Table 2 assumes that poll finds the network empty).
-  AmFixture f(2, sphw::SpParams::thin_node(), {});
+  AmFixture f(2, hw, {});
   am::Endpoint& e0 = f.net.ep(0);
   am::Endpoint& e1 = f.net.ep(1);
   int served = 0;
@@ -137,9 +137,9 @@ static double am_request_cost_us_raw(int words) {
   return sim::to_usec(req_cost);
 }
 
-static double am_reply_cost_us_raw(int words) {
+static double am_reply_cost_us_raw(int words, sphw::SpParams hw) {
   // Time the am_reply_N call alone, invoked from a handler.
-  AmFixture f(2, sphw::SpParams::thin_node(), {});
+  AmFixture f(2, hw, {});
   am::Endpoint& e0 = f.net.ep(0);
   am::Endpoint& e1 = f.net.ep(1);
   bool ponged = false;
@@ -170,8 +170,8 @@ static double am_reply_cost_us_raw(int words) {
   return sim::to_usec(reply_cost);
 }
 
-static double am_poll_empty_us_raw() {
-  AmFixture f(2, sphw::SpParams::thin_node(), {});
+static double am_poll_empty_us_raw(sphw::SpParams hw) {
+  AmFixture f(2, hw, {});
   sim::Time cost = 0;
   f.world.spawn(0, [&](sim::NodeCtx& ctx) {
     const sim::Time t0 = ctx.now();
@@ -182,8 +182,8 @@ static double am_poll_empty_us_raw() {
   return sim::to_usec(cost);
 }
 
-static double am_poll_per_msg_us_raw() {
-  AmFixture f(2, sphw::SpParams::thin_node(), {});
+static double am_poll_per_msg_us_raw(sphw::SpParams hw) {
+  AmFixture f(2, hw, {});
   am::Endpoint& e0 = f.net.ep(0);
   am::Endpoint& e1 = f.net.ep(1);
   int got = 0;
@@ -199,7 +199,7 @@ static double am_poll_per_msg_us_raw() {
     poll_with_msg = ctx.now() - t0;
   });
   f.world.run();
-  return sim::to_usec(poll_with_msg) - am_poll_empty_us();
+  return sim::to_usec(poll_with_msg) - am_poll_empty_us(hw);
 }
 
 static double am_bandwidth_mbps_raw(AmBwMode mode, std::size_t bytes,
@@ -468,7 +468,8 @@ Hasher& mix(Hasher& h, const sphw::SpParams& p) {
       .mix(p.recv_fifo_entries_per_node)
       .mix(p.packet_data_bytes)
       .mix(p.packet_header_bytes)
-      .mix(p.lazy_pop_batch);
+      .mix(p.lazy_pop_batch)
+      .mix(p.network_fastpath);
 }
 
 Hasher& mix(Hasher& h, const am::AmParams& p) {
@@ -548,26 +549,28 @@ double raw_rtt_us(sphw::SpParams hw) {
   return cached(h, [&] { return raw_rtt_us_raw(hw); });
 }
 
-double am_request_cost_us(int words) {
+double am_request_cost_us(int words, sphw::SpParams hw) {
   Hasher h("am_request_cost_us");
-  h.mix(words);
-  return cached(h, [&] { return am_request_cost_us_raw(words); });
+  mix(h.mix(words), hw);
+  return cached(h, [&] { return am_request_cost_us_raw(words, hw); });
 }
 
-double am_reply_cost_us(int words) {
+double am_reply_cost_us(int words, sphw::SpParams hw) {
   Hasher h("am_reply_cost_us");
-  h.mix(words);
-  return cached(h, [&] { return am_reply_cost_us_raw(words); });
+  mix(h.mix(words), hw);
+  return cached(h, [&] { return am_reply_cost_us_raw(words, hw); });
 }
 
-double am_poll_empty_us() {
+double am_poll_empty_us(sphw::SpParams hw) {
   Hasher h("am_poll_empty_us");
-  return cached(h, [] { return am_poll_empty_us_raw(); });
+  mix(h, hw);
+  return cached(h, [&] { return am_poll_empty_us_raw(hw); });
 }
 
-double am_poll_per_msg_us() {
+double am_poll_per_msg_us(sphw::SpParams hw) {
   Hasher h("am_poll_per_msg_us");
-  return cached(h, [] { return am_poll_per_msg_us_raw(); });
+  mix(h, hw);
+  return cached(h, [&] { return am_poll_per_msg_us_raw(hw); });
 }
 
 double am_bandwidth_mbps(AmBwMode mode, std::size_t bytes, sphw::SpParams hw,

@@ -26,11 +26,13 @@ double am_rtt_us(int words, sphw::SpParams hw = sphw::SpParams::thin_node(),
 double raw_rtt_us(sphw::SpParams hw = sphw::SpParams::thin_node());
 
 /// Cost of a successful am_request_N / am_reply_N call (paper Table 2).
-double am_request_cost_us(int words);
-double am_reply_cost_us(int words);
+double am_request_cost_us(int words,
+                          sphw::SpParams hw = sphw::SpParams::thin_node());
+double am_reply_cost_us(int words,
+                        sphw::SpParams hw = sphw::SpParams::thin_node());
 /// Poll costs (paper: 1.3 us empty, +1.8 us per received message).
-double am_poll_empty_us();
-double am_poll_per_msg_us();
+double am_poll_empty_us(sphw::SpParams hw = sphw::SpParams::thin_node());
+double am_poll_per_msg_us(sphw::SpParams hw = sphw::SpParams::thin_node());
 
 enum class AmBwMode {
   kSyncStore,            // blocking am_store per transfer

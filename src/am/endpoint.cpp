@@ -57,19 +57,102 @@ void Endpoint::wait_for_window(int dst, std::uint8_t channel,
                                int packets_needed) {
   TxChan& tx = peer(dst).tx[channel];
   const int window = window_for(channel);
-  while (tx.packets_in_flight + packets_needed > window) poll();
+  // The window only opens on packet receipt, so the empty-poll merge is
+  // exact here: nothing this loop waits for can happen mid-merge.
+  while (tx.packets_in_flight + packets_needed > window) {
+    merge_empty_polls();
+    poll();
+  }
+}
+
+SPAM_HOT void Endpoint::merge_empty_polls() {
+  if (!ctx_.engine().fastpath()) return;
+  if (adapter_.host_rx_ready()) return;
+  const sim::Time ready = adapter_.host_rx_ready_time();
+  if (ready == 0) return;
+  const sim::Time quantum = sim::usec(params_.poll_empty_us);
+  const sim::Time now = ctx_.now();
+  if (ready <= now + quantum) return;  // the very next poll may see it
+  if (!bulk_progress_frozen()) return;
+  // Polls at now + i*quantum for i = 1..k sample strictly before `ready`,
+  // so each would charge its quantum, drain nothing, and leave bulk
+  // progress untouched: one elapse of k quanta reaches the same instant
+  // and the k-1 intermediate wakes are elided.
+  sim::Time k = (ready - now - 1) / quantum;
+  bool count_streak = false;
+  if (!in_poll_ && have_unacked_retrans()) {
+    // Keep-alive probes fire at exact poll instants: stop the merge one
+    // short of the streak threshold so a due probe runs in a real poll.
+    const int to_probe = params_.keepalive_poll_threshold - empty_poll_streak_;
+    if (to_probe <= 1) return;
+    if (k > static_cast<sim::Time>(to_probe - 1)) {
+      k = static_cast<sim::Time>(to_probe - 1);
+    }
+    count_streak = true;
+  }
+  ctx_.elapse(k * quantum);
+  ctx_.engine().note_elided(static_cast<std::int64_t>(k) - 1);
+  // Each merged poll was a top-level empty poll: replicate the keep-alive
+  // bookkeeping (nested polls leave the streak alone, as poll() does).
+  if (count_streak) empty_poll_streak_ += static_cast<int>(k);
+}
+
+bool Endpoint::bulk_progress_frozen() const {
+  for (std::size_t n = 0; n < peers_.size(); ++n) {
+    for (std::uint8_t ch : {kChanRequest, kChanReply}) {
+      const TxChan& tx = peers_[n].tx[ch];
+      if (tx.ops.empty()) continue;
+      const int window = window_for(ch);
+      // Window-blocked chunks stay blocked until a packet arrives; the
+      // send-FIFO gate can open with time alone, so a chunk blocked only
+      // by FIFO space defeats the merge.
+      if (tx.packets_in_flight + planned_chunk_packets(tx.ops.front(), window) <=
+          window) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Endpoint::have_unacked_retrans() const {
+  for (const Peer& p : peers_) {
+    for (const TxChan& tx : p.tx) {
+      if (!tx.retrans.empty()) return true;
+    }
+  }
+  return false;
 }
 
 void Endpoint::wait_for_fifo_space(int needed) {
   // The adapter drains the send FIFO autonomously (DMA), so plain waiting
   // is enough and safe to use even while nested inside poll().
-  ctx_.poll_until([&] { return adapter_.host_send_free() >= needed; },
-                  sim::usec(0.5));
+  //
+  // Fast path: FIFO-free instants are fixed at submit time, so every poll
+  // sample strictly before the adapter's ready hint must read false — fuse
+  // those definitely-false quanta into one elapse of identical total
+  // virtual time (k quanta) and count the merged wake timers as elided.
+  const sim::Time quantum = sim::usec(0.5);
+  for (;;) {
+    if (adapter_.host_send_free() >= needed) return;
+    const sim::Time ready = adapter_.send_free_ready_time(needed);
+    const sim::Time now = ctx_.now();
+    if (ready > now + quantum) {
+      const sim::Time k = (ready - now - 1) / quantum;
+      ctx_.elapse(k * quantum);
+      ctx_.engine().note_elided(static_cast<std::int64_t>(k) - 1);
+    }
+    ctx_.elapse(quantum);
+  }
 }
 
 SPAM_HOT void Endpoint::enqueue_sequenced_packet(sphw::Packet pkt, TxChan& tx,
-                                        bool save, bool ring_doorbell) {
-  ctx_.elapse(sim::usec(params_.bookkeeping_us));
+                                        bool save, int doorbell_npackets) {
+  // The ack stamping and retransmit save below touch only this fiber's
+  // state and do not read the clock, so running them before the
+  // bookkeeping charge (instead of after) is unobservable; that lets the
+  // fast path hand the charge to host_enqueue as a merged lead_charge.
+  const sim::Time bookkeeping = sim::usec(params_.bookkeeping_us);
   stamp_acks(pkt.dst, pkt);
   if (save) {
     if (pkt.chunk_idx == 0) {
@@ -83,8 +166,17 @@ SPAM_HOT void Endpoint::enqueue_sequenced_packet(sphw::Packet pkt, TxChan& tx,
     tx.retrans.back().packets.push_back(pkt);
   }
   ++tx.packets_in_flight;
+  if (ctx_.engine().fastpath() && adapter_.host_send_free() >= 1) {
+    // FIFO space already available: free instants only move toward us, so
+    // the wait below would return without elapsing, and the bookkeeping
+    // charge can ride host_enqueue's merged elapse.
+    adapter_.host_enqueue(ctx_, std::move(pkt), doorbell_npackets,
+                          bookkeeping);
+    return;
+  }
+  ctx_.elapse(bookkeeping);
   wait_for_fifo_space(1);
-  adapter_.host_enqueue(ctx_, std::move(pkt), ring_doorbell);
+  adapter_.host_enqueue(ctx_, std::move(pkt), doorbell_npackets);
 }
 
 SPAM_HOT void Endpoint::send_small(int dst, std::uint8_t channel, int handler,
@@ -93,8 +185,12 @@ SPAM_HOT void Endpoint::send_small(int dst, std::uint8_t channel, int handler,
   TxChan& tx = peer(dst).tx[channel];
 
   // Preserve per-channel ordering: small messages may not overtake queued
-  // bulk operations headed to the same peer.
-  while (!tx.ops.empty()) poll();
+  // bulk operations headed to the same peer.  Ops drain only as packet
+  // receipts open the window, so the empty-poll merge is exact.
+  while (!tx.ops.empty()) {
+    merge_empty_polls();
+    poll();
+  }
 
   ctx_.elapse(sim::usec((is_request ? params_.request_cpu_us
                                     : params_.reply_cpu_us) +
@@ -115,7 +211,7 @@ SPAM_HOT void Endpoint::send_small(int dst, std::uint8_t channel, int handler,
   pkt.payload_bytes = static_cast<std::uint32_t>(4 * nargs);
 
   enqueue_sequenced_packet(std::move(pkt), tx, /*save=*/true,
-                           /*ring_doorbell=*/true);
+                           /*doorbell_npackets=*/1);
 }
 
 void Endpoint::request(int dst, int handler, const Word* args, int nargs) {
@@ -147,7 +243,7 @@ void Endpoint::send_control(int dst, std::uint8_t channel,
   pkt.payload_bytes = 0;
   stamp_acks(dst, pkt);
   wait_for_fifo_space(1);
-  adapter_.host_enqueue(ctx_, std::move(pkt), /*ring_doorbell=*/true);
+  adapter_.host_enqueue(ctx_, std::move(pkt), /*doorbell_npackets=*/1);
 }
 
 void Endpoint::maybe_explicit_ack(int src, std::uint8_t channel) {
@@ -251,7 +347,7 @@ void Endpoint::get(int dst, const void* src_addr, void* dst_addr,
   pkt.payload_bytes = 16;  // two addresses and a length on the wire
 
   enqueue_sequenced_packet(std::move(pkt), tx, /*save=*/true,
-                           /*ring_doorbell=*/true);
+                           /*doorbell_npackets=*/1);
   poll();  // gets are requests: check the network after sending
 }
 
@@ -280,6 +376,17 @@ void Endpoint::progress_bulk() {
   }
 }
 
+int Endpoint::planned_chunk_packets(const BulkOp& op, int window) const {
+  const int data_bytes = adapter_.params().packet_data_bytes;
+  const std::size_t max_chunk =
+      static_cast<std::size_t>(std::min(params_.chunk_packets, window)) *
+      static_cast<std::size_t>(data_bytes);
+  const std::size_t remaining = op.data.size() - op.sent;
+  const std::size_t chunk = std::min(remaining, max_chunk);
+  const int npackets = static_cast<int>((chunk + data_bytes - 1) / data_bytes);
+  return npackets == 0 ? 1 : npackets;  // zero-length op: one empty packet
+}
+
 bool Endpoint::try_send_next_chunk(int dst, std::uint8_t channel,
                                    TxChan& tx) {
   BulkOp& op = tx.ops.front();
@@ -291,8 +398,7 @@ bool Endpoint::try_send_next_chunk(int dst, std::uint8_t channel,
 
   const std::size_t remaining = op.data.size() - op.sent;
   const std::size_t chunk = std::min(remaining, max_chunk);
-  int npackets = static_cast<int>((chunk + data_bytes - 1) / data_bytes);
-  if (npackets == 0) npackets = 1;  // zero-length operation: one empty packet
+  const int npackets = planned_chunk_packets(op, window);
 
   if (tx.packets_in_flight + npackets > window) return false;
   if (adapter_.host_send_free() < npackets) return false;
@@ -323,15 +429,18 @@ bool Endpoint::try_send_next_chunk(int dst, std::uint8_t channel,
     // No copy: the packet's view shares the operation's pooled buffer.
     pkt.payload = op.data.slice(off, nbytes);
     // Batch the doorbell: one length-array store covers several packets,
-    // so the adapter starts fetching while the host keeps writing.
-    enqueue_sequenced_packet(std::move(pkt), tx, /*save=*/true,
-                             /*ring_doorbell=*/false);
-    if (++undoorbelled == batch) {
-      adapter_.host_doorbell(ctx_, undoorbelled);
+    // so the adapter starts fetching while the host keeps writing.  The
+    // batch-completing enqueue rings it, letting the fast path fold the
+    // MicroChannel access into its merged elapse.
+    ++undoorbelled;
+    int doorbell_n = 0;
+    if (undoorbelled == batch || i == npackets - 1) {
+      doorbell_n = undoorbelled;
       undoorbelled = 0;
     }
+    enqueue_sequenced_packet(std::move(pkt), tx, /*save=*/true, doorbell_n);
   }
-  if (undoorbelled > 0) adapter_.host_doorbell(ctx_, undoorbelled);
+  assert(undoorbelled == 0);
   ++stats_.chunks_sent;
   stats_.bulk_bytes_sent += chunk;
 
@@ -579,8 +688,10 @@ SPAM_HOT void Endpoint::poll() {
   ctx_.elapse(sim::usec(params_.poll_empty_us));
   bool received = false;
   while (adapter_.host_rx_ready()) {
-    sphw::Packet pkt = adapter_.host_rx_take(ctx_);
-    ctx_.elapse(sim::usec(params_.per_msg_handling_us));
+    // The per-message handling charge rides the take's copy elapse when the
+    // adapter can prove the merge exact (non-flush takes under fastpath).
+    sphw::Packet pkt =
+        adapter_.host_rx_take(ctx_, sim::usec(params_.per_msg_handling_us));
     handle_packet(std::move(pkt));
     received = true;
   }
@@ -591,17 +702,8 @@ SPAM_HOT void Endpoint::poll() {
   if (received) {
     empty_poll_streak_ = 0;
   } else {
-    bool have_unacked = false;
-    for (const Peer& p : peers_) {
-      for (const TxChan& tx : p.tx) {
-        if (!tx.retrans.empty()) {
-          have_unacked = true;
-          break;
-        }
-      }
-      if (have_unacked) break;
-    }
-    if (have_unacked && ++empty_poll_streak_ >= params_.keepalive_poll_threshold) {
+    if (have_unacked_retrans() &&
+        ++empty_poll_streak_ >= params_.keepalive_poll_threshold) {
       empty_poll_streak_ = 0;
       for (std::size_t n = 0; n < peers_.size(); ++n) {
         for (std::uint8_t ch : {kChanRequest, kChanReply}) {

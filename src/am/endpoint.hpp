@@ -109,9 +109,19 @@ class Endpoint {
   void poll();
 
   /// Polls until `done()`; the standard blocking idiom.
+  ///
+  /// Contract: `done` must change only as a consequence of this endpoint's
+  /// own polling work (handlers, acks, bulk completions) — true for every
+  /// AM-level completion flag.  Under the network fast path the loop then
+  /// merges runs of provably empty polls into one wait of identical total
+  /// virtual time (see merge_empty_polls), so per-poll wake events
+  /// disappear while every observable instant stays bit-identical.
   template <typename Pred>
   void poll_until(Pred&& done) {
-    while (!done()) poll();
+    while (!done()) {
+      merge_empty_polls();
+      poll();
+    }
   }
 
   /// Charges `us` of application computation.  In polling mode (default)
@@ -226,12 +236,27 @@ class Endpoint {
   // Send paths.
   void send_small(int dst, std::uint8_t channel, int handler, const Word* args,
                   int nargs, bool is_request);
+  /// `doorbell_npackets`: see Tb2Adapter::host_enqueue (0 = caller
+  /// doorbells later; N = this enqueue completes a batch of N).
   void enqueue_sequenced_packet(sphw::Packet pkt, TxChan& tx, bool save,
-                                bool ring_doorbell);
+                                int doorbell_npackets);
   void send_control(int dst, std::uint8_t channel, std::uint64_t subtype);
   void stamp_acks(int dst, sphw::Packet& pkt);
   void wait_for_window(int dst, std::uint8_t channel, int packets_needed);
   void wait_for_fifo_space(int needed);
+
+  // Fast path: when the adapter can bound the next packet's arrival and
+  // bulk progress is provably frozen, advances the clock across the poll
+  // quanta that would sample an empty FIFO (replicating the keep-alive
+  // empty-poll accounting), merging their wake events into one.
+  void merge_empty_polls();
+  /// True while progress_bulk() cannot do anything at any instant before
+  /// the next packet arrives: every queued chunk is blocked by the
+  /// flow-control window, which only moves on packet receipt.
+  bool bulk_progress_frozen() const;
+  /// Packet count of `op`'s next chunk — the try_send_next_chunk gate.
+  int planned_chunk_packets(const BulkOp& op, int window) const;
+  bool have_unacked_retrans() const;
 
   // Bulk progress: pushes chunks of queued ops while windows/FIFO allow.
   void progress_bulk();

@@ -1,11 +1,17 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 #include <utility>
 
 #include "sim/hot.hpp"
 
 namespace spam::sim {
+
+namespace {
+constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+}  // namespace
 
 SPAM_HOT Engine::Node* Engine::acquire() {
   if (free_list_ == nullptr) {
@@ -60,7 +66,7 @@ SPAM_HOT void Engine::sift_down(std::size_t i) {
   heap_[i] = n;
 }
 
-SPAM_HOT Engine::Node* Engine::pop_min() {
+SPAM_HOT Engine::Node* Engine::heap_pop() {
   Node* top = heap_[0];
   Node* last = heap_.back();
   heap_.pop_back();
@@ -71,21 +77,144 @@ SPAM_HOT Engine::Node* Engine::pop_min() {
   return top;
 }
 
+SPAM_HOT std::uint64_t Engine::next_nonempty_bucket() const {
+  // Precondition: calendar_count_ > 0, so some bit is set.  The window is
+  // (drained_through_, drained_through_ + kBuckets]; scanning slots
+  // circularly from drained_through_ + 1 visits candidates in increasing
+  // absolute-bucket order, so the first set bit is the earliest bucket.
+  const std::uint64_t start = drained_through_ + 1;
+  const std::size_t start_slot = static_cast<std::size_t>(start & kBucketMask);
+  const std::size_t start_word = start_slot / 64;
+  const std::size_t start_bit = start_slot % 64;
+  for (std::size_t i = 0; i <= kBitmapWords; ++i) {
+    const std::size_t word = (start_word + i) % kBitmapWords;
+    std::uint64_t bits = bucket_bits_[word];
+    if (i == 0) {
+      bits &= ~std::uint64_t{0} << start_bit;
+    } else if (i == kBitmapWords) {
+      // Wrapped back to the start word: only the bits below start_bit are
+      // still unvisited (they are the far end of the window).
+      bits &= start_bit == 0 ? 0 : ~(~std::uint64_t{0} << start_bit);
+    }
+    if (bits != 0) {
+      const std::size_t slot =
+          word * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      const std::uint64_t offset = (slot - start_slot) & kBucketMask;
+      return start + offset;
+    }
+  }
+  __builtin_unreachable();  // calendar_count_ > 0 guarantees a set bit
+}
+
+SPAM_HOT void Engine::drain_bucket(std::uint64_t b) {
+  const std::size_t slot = static_cast<std::size_t>(b & kBucketMask);
+  Node* n = bucket_[slot];
+  bucket_[slot] = nullptr;
+  bucket_bits_[slot / 64] &= ~(std::uint64_t{1} << (slot % 64));
+  const std::size_t begin = run_.size();
+  while (n != nullptr) {
+    Node* next = n->next_free;
+    // spam-lint: capacity-ok (run_ keeps its high-water capacity; steady
+    // state never reallocates, which bench_host_perf asserts)
+    run_.push_back(n);
+    n = next;
+  }
+  calendar_count_ -= run_.size() - begin;
+  // Everything already in run_ came from earlier buckets, so sorting just
+  // the appended range keeps the whole vector ordered by (t, seq).
+  std::sort(run_.begin() + static_cast<std::ptrdiff_t>(begin), run_.end(),
+            &Engine::earlier);
+  drained_through_ = b;
+  if (calendar_count_ > 0) cal_min_bucket_ = next_nonempty_bucket();
+}
+
+SPAM_HOT Engine::Node* Engine::front() {
+  for (;;) {
+    Node* best = run_pos_ < run_.size() ? run_[run_pos_] : nullptr;
+    if (!heap_.empty() && (best == nullptr || earlier(heap_[0], best))) {
+      best = heap_[0];
+    }
+    if (calendar_count_ == 0) return best;
+    const std::uint64_t b = cal_min_bucket_;
+    // Every event in bucket b (and beyond) has t >= b << kBucketShift, so a
+    // strictly earlier run/heap front is the exact global minimum.
+    if (best != nullptr && best->t < (b << kBucketShift)) return best;
+    drain_bucket(b);
+  }
+}
+
+SPAM_HOT Engine::Node* Engine::pop_min() {
+  Node* best = front();
+  if (best == nullptr) return nullptr;
+  Node* run_front = run_pos_ < run_.size() ? run_[run_pos_] : nullptr;
+  if (best == run_front) {
+    ++run_pos_;
+    if (run_pos_ == run_.size()) {
+      run_.clear();
+      run_pos_ = 0;
+    }
+    return best;
+  }
+  return heap_pop();
+}
+
+SPAM_HOT Time Engine::next_time_lower_bound() const {
+  Time lb = kTimeMax;
+  if (run_pos_ < run_.size()) lb = run_[run_pos_]->t;
+  if (!heap_.empty() && heap_[0]->t < lb) lb = heap_[0]->t;
+  if (calendar_count_ > 0) {
+    const Time cal = static_cast<Time>(cal_min_bucket_) << kBucketShift;
+    if (cal < lb) lb = cal;
+  }
+  return lb;
+}
+
 SPAM_HOT void Engine::at(Time t, Action fn) {
   if (t < now_) t = now_;
   Node* n = acquire();
   n->t = t;
   n->seq = next_seq_++;
   n->fn = std::move(fn);
+  if (calendar_count_ == 0) {
+    // Empty calendar: rebase the window to the present so short-horizon
+    // events keep landing in buckets no matter how far the clock jumped.
+    const std::uint64_t now_bucket = now_ >> kBucketShift;
+    if (now_bucket > drained_through_) drained_through_ = now_bucket;
+  }
+  const std::uint64_t b = t >> kBucketShift;
+  if (b > drained_through_ && b - drained_through_ <= kBuckets) {
+    const std::size_t slot = static_cast<std::size_t>(b & kBucketMask);
+    n->next_free = bucket_[slot];
+    bucket_[slot] = n;
+    bucket_bits_[slot / 64] |= std::uint64_t{1} << (slot % 64);
+    if (calendar_count_ == 0 || b < cal_min_bucket_) cal_min_bucket_ = b;
+    ++calendar_count_;
+    return;
+  }
+  // Same-bucket-as-now or beyond the window: the heap takes it.
   // spam-lint: capacity-ok (heap_ keeps its high-water capacity; steady
   // state never reallocates, which bench_host_perf asserts)
   heap_.push_back(n);
   sift_up(heap_.size() - 1);
 }
 
+SPAM_HOT bool Engine::try_skip_elapse(Time d) {
+  if (!fastpath_ || stopped_) return false;
+  const Time target = now_ + d;
+  if (run_deadline_ == 0 || target > run_deadline_) return false;
+  // The lower bound is conservative (bucket-start granularity), so it can
+  // only deny a legal skip, never allow an illegal one.  An event at
+  // exactly `target` must still deny: per-hop mode would run it before the
+  // wake timer (its seq is smaller — it was already queued).
+  if (next_time_lower_bound() <= target) return false;
+  now_ = target;
+  ++elided_;  // the wake event per-hop mode would have scheduled + popped
+  return true;
+}
+
 SPAM_HOT bool Engine::step() {
-  if (heap_.empty()) return false;
   Node* n = pop_min();
+  if (n == nullptr) return false;
   now_ = n->t;
   ++executed_;
   // Move the action out and recycle the node *before* invoking: the event
@@ -98,17 +227,24 @@ SPAM_HOT bool Engine::step() {
 
 SPAM_HOT std::uint64_t Engine::run() {
   stopped_ = false;
+  run_deadline_ = kTimeMax;
   std::uint64_t n = 0;
   while (!stopped_ && step()) ++n;
+  run_deadline_ = 0;
   return n;
 }
 
 SPAM_HOT std::uint64_t Engine::run_until(Time deadline) {
   stopped_ = false;
+  run_deadline_ = deadline;
   std::uint64_t n = 0;
-  while (!stopped_ && !heap_.empty() && heap_[0]->t <= deadline && step()) {
+  while (!stopped_) {
+    Node* f = front();  // exact peek: drains buckets up to the global min
+    if (f == nullptr || f->t > deadline) break;
+    step();
     ++n;
   }
+  run_deadline_ = 0;
   return n;
 }
 

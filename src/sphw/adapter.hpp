@@ -15,8 +15,30 @@
 // next-free-time clocks (DMA engine, i860, link); packets move strictly
 // FIFO through each resource, so arrival times can be computed at submit
 // time and a single delivery event scheduled.
+//
+// --- Network fast path ----------------------------------------------------
+// When a route is provably uncontended the per-packet event chain
+// (FIFO-free, depart, switch hop, arrive — 4 events) collapses to ONE fused
+// delivery event at the analytically computed arrival instant:
+//
+//   * the destination keeps a *reservation ledger* (fused_) recording, per
+//     in-flight fused packet, its switch-entry instant and the rx-clock
+//     values before its speculative application, so any conflicting later
+//     traffic can roll the tail of the ledger back (restore clocks LIFO,
+//     reschedule real per-hop events) and fall back mid-flight;
+//   * eligibility demands no fault hook, no per-hop packet in flight to
+//     the destination (pending_slow_ == 0), and switch-entry monotonicity
+//     against the ledger tail — exactly the conditions under which the
+//     submit-time computation reproduces the per-hop arithmetic bit for
+//     bit (same sim::Time ops, same order);
+//   * the sender's FIFO-free event is settled lazily against now() in the
+//     host_send_space()/host_send_free() queries (the only observers).
+//
+// Every transformation is counted through Engine::note_elided so
+// events_simulated() stays the per-hop-equivalent work measure.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -44,23 +66,46 @@ class Tb2Adapter {
 
   // --- Host send side (call from the node fiber) --------------------------
 
-  /// True if the send FIFO has a free entry.
-  bool host_send_space() const {
+  /// True if the send FIFO has a free entry.  Settles lazily tracked
+  /// FIFO-free instants against the clock first (fast-path bookkeeping).
+  bool host_send_space() {
+    settle_send_fifo();
     return send_fifo_used_ < params_.send_fifo_entries;
   }
-  int host_send_free() const {
+  int host_send_free() {
+    settle_send_fifo();
     return params_.send_fifo_entries - send_fifo_used_;
   }
 
+  /// Fast-path polling hint: the earliest instant at which
+  /// `host_send_free() >= needed` *can* become true.  FIFO-free instants
+  /// are fixed when packets are submitted and nothing can advance them, so
+  /// any poll sampled strictly before the returned time must read false.
+  /// Returns 0 when the condition already holds or no hint is available
+  /// (per-hop mode, or entries still waiting on the host itself).
+  sim::Time send_free_ready_time(int needed);
+
   /// Writes `pkt` into the next send-FIFO entry: charges the store and
-  /// cache-flush costs.  If `ring_doorbell`, also charges one MicroChannel
-  /// access and makes the packet visible to the adapter; otherwise the
-  /// caller must follow up with host_doorbell().  Requires free space.
-  void host_enqueue(sim::NodeCtx& ctx, Packet pkt, bool ring_doorbell = true);
+  /// cache-flush costs.  If `doorbell_npackets > 0`, follows up with
+  /// host_doorbell(doorbell_npackets) — one MicroChannel access covering
+  /// this packet and the doorbell_npackets-1 enqueued before it (batched
+  /// senders pass the batch size on the batch-completing enqueue, 0
+  /// otherwise; plain senders pass 1).  Requires free space.
+  ///
+  /// `lead_charge` is a caller-side CPU cost (e.g. the AM layer's per-packet
+  /// bookkeeping) to charge immediately before the store.  Under the fast
+  /// path it is folded into one merged elapse together with the store and
+  /// (for an immediate doorbell) the MicroChannel access: nothing externally
+  /// visible happens at the intermediate instants, so the merged wake is
+  /// provably equivalent and the saved wakes are counted as elided.
+  void host_enqueue(sim::NodeCtx& ctx, Packet pkt, int doorbell_npackets = 1,
+                    sim::Time lead_charge = 0);
 
   /// Stores the lengths of the `npackets` most recently enqueued (and not
-  /// yet doorbelled) packets with a single MicroChannel access.
-  void host_doorbell(sim::NodeCtx& ctx, int npackets);
+  /// yet doorbelled) packets with a single MicroChannel access.  `charge`
+  /// is false only when host_enqueue already folded the MicroChannel cost
+  /// into its merged elapse.
+  void host_doorbell(sim::NodeCtx& ctx, int npackets, bool charge = true);
 
   // --- Host receive side ---------------------------------------------------
 
@@ -68,10 +113,25 @@ class Tb2Adapter {
   int host_rx_pending() const { return static_cast<int>(rx_queue_.size()); }
   bool host_rx_ready() const { return !rx_queue_.empty(); }
 
+  /// Fast-path polling hint: a lower bound on the instant at which
+  /// host_rx_ready() *can* become true, or 0 when it already is / no bound
+  /// is provable.  Valid only when every inbound packet is fused (ledger
+  /// arrivals are ordered, and any mid-flight rollback re-delivers at the
+  /// bit-identical per-hop instant, never earlier); per-hop packets in
+  /// flight or pending arrive events forfeit the hint.
+  sim::Time host_rx_ready_time() const;
+
   /// Copies the front packet out of the receive FIFO (charges the copy) and
   /// performs the lazy-pop bookkeeping (one MicroChannel access per
   /// lazy_pop_batch takes, which is when FIFO entries actually free up).
-  Packet host_rx_take(sim::NodeCtx& ctx);
+  ///
+  /// `tail_charge` is a caller-side CPU cost (e.g. per-message handling)
+  /// charged immediately after the take.  On non-flush takes under the fast
+  /// path it merges with the copy into one elapse (no externally visible
+  /// state changes at the intermediate instant); flush takes keep the split
+  /// so the FIFO entries free at their exact per-hop instant, where
+  /// in-flight arrivals can observe them.
+  Packet host_rx_take(sim::NodeCtx& ctx, sim::Time tail_charge = 0);
 
   /// Forces the lazy pop to flush now (frees all consumed entries).
   void host_rx_flush_pops(sim::NodeCtx& ctx);
@@ -80,6 +140,26 @@ class Tb2Adapter {
 
   /// Called by the switch at the instant the packet reaches this adapter.
   void deliver_from_switch(Packet pkt);
+
+  /// Fast path: the sender finished computing its tx clocks and asks this
+  /// (destination) adapter to reserve the rx pipeline for a packet entering
+  /// the switch at `t_link` and leaving it at `t_hop`.  On success the
+  /// packet is consumed, its rx-clock updates are applied speculatively,
+  /// one fused delivery event replaces the depart/hop/arrive chain, and
+  /// true is returned.  Returns false (packet untouched) when ineligible.
+  bool try_engage_fused(Packet& pkt, sim::Time t_link, sim::Time t_hop);
+
+  /// A per-hop (slow-path) packet is now in flight toward this adapter;
+  /// fused engagement is barred until it lands (its rx-clock contribution
+  /// is only known at its hop event).
+  void note_slow_inflight() { ++pending_slow_; }
+  /// The in-flight slow packet was dropped by the fault hook instead.
+  void note_slow_dropped() { --pending_slow_; }
+
+  /// A fault hook is being armed: fall every reservation whose switch-entry
+  /// instant is still in the future back to per-hop (the hook must see
+  /// those packets at their depart events).
+  void disengage_fused_for_faults();
 
   /// Interrupt line: invoked (from an engine event) whenever a packet
   /// becomes host-visible while the line is armed.  Used by the AM layer's
@@ -94,6 +174,8 @@ class Tb2Adapter {
     std::uint64_t tx_bytes = 0;
     std::uint64_t rx_bytes = 0;
     std::uint64_t doorbells = 0;
+    std::uint64_t fused_deliveries = 0;  // packets that arrived fused
+    std::uint64_t fused_rollbacks = 0;   // mid-flight disengagements
   };
   const Stats& stats() const { return stats_; }
 
@@ -105,6 +187,16 @@ class Tb2Adapter {
 
  private:
   void submit_to_tx_pipeline(Packet pkt);
+  void settle_send_fifo();
+  /// The shared arrive body: FIFO-full check, enqueue, notify.  Runs at the
+  /// packet's arrival instant on both the per-hop and the fused path.
+  void complete_rx(Packet pkt);
+  void fused_arrival(std::uint64_t serial);
+  /// Rolls back every reservation ordered after `keep` entries: restores
+  /// the rx clocks to the state before the first rolled-back reservation
+  /// and reschedules real per-hop events in engagement order.
+  void rollback_fused_suffix(std::size_t keep);
+  void rollback_fused_after(sim::Time t_hop);
 
   sim::Engine& engine_;
   SwitchFabric& fabric_;
@@ -114,6 +206,9 @@ class Tb2Adapter {
   // Send side.
   int send_fifo_used_ = 0;
   std::deque<Packet> awaiting_doorbell_;
+  // Lazily settled FIFO-free instants (fast path); monotonic because
+  // tx_dma_free_ is.  Bounded by send_fifo_entries.
+  std::deque<sim::Time> fifo_free_at_;
 
   // Tx pipeline next-free clocks.
   sim::Time tx_dma_free_ = 0;
@@ -123,6 +218,32 @@ class Tb2Adapter {
   // Rx pipeline next-free clocks.
   sim::Time rx_i860_free_ = 0;
   sim::Time rx_dma_free_ = 0;
+
+  // Fused-reservation ledger (this adapter as destination), ordered by
+  // engagement == switch-exit == arrival order.  pre_* snapshot the rx
+  // clocks before the reservation's speculative application so a rollback
+  // can restore them LIFO.  Serials are never reused: a rolled-back
+  // reservation's already-queued fused event finds a serial mismatch and
+  // degenerates to a no-op.
+  struct FusedReservation {
+    std::uint64_t serial = 0;
+    sim::Time t_link = 0;  // sender link completion (per-hop depart instant)
+    sim::Time t_hop = 0;   // switch-exit instant (per-hop deliver instant)
+    sim::Time pre_i860 = 0;
+    sim::Time pre_dma = 0;
+    sim::Time t_arrive = 0;  // fused delivery instant (host_rx_ready_time)
+    Packet pkt;
+  };
+  std::deque<FusedReservation> fused_;
+  std::uint64_t next_fused_serial_ = 0;
+  // Per-hop packets in flight toward this adapter (they apply their
+  // rx-clock updates only at their hop events, so fused submit-time
+  // computation is barred while any are outstanding).
+  int pending_slow_ = 0;
+  // Per-hop arrive events scheduled but not yet fired: their arrival
+  // instants are not in the fused ledger, so host_rx_ready_time() must
+  // decline to predict while any are outstanding.
+  int slow_arrivals_pending_ = 0;
 
   // Receive FIFO: capacity tracks adapter view; rx_queue_ is what the host
   // can see; pops_owed_ counts host takes not yet flushed to the adapter.

@@ -51,6 +51,14 @@ struct SpParams {
   /// this many packets, to amortize the ~1us bus access.
   int lazy_pop_batch = 8;
 
+  // --- Simulator fast path ------------------------------------------------
+  /// Contention-aware event fusion: provably uncontended sends schedule one
+  /// fused delivery event instead of the per-hop chain, and idle elapses
+  /// skip the wake timer.  Arrival times are bit-identical by construction
+  /// (same sim::Time arithmetic, same order of additions); flip off to run
+  /// the reference per-hop simulation (bench --no-fastpath does this).
+  bool network_fastpath = true;
+
   /// Default thin-node (model 390) calibration.
   static SpParams thin_node() { return SpParams{}; }
 

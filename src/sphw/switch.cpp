@@ -19,10 +19,27 @@ void SwitchFabric::attach(int node, Tb2Adapter* adapter) {
   adapters_[node] = adapter;
 }
 
+void SwitchFabric::set_drop_fn(DropFn fn) {
+  if (fn) {
+    // Every engaged fused reservation assumed "no fault hook" at its
+    // (elided) depart event.  Reservations whose depart instant is still
+    // in the future must fall back to per-hop so the hook sees them;
+    // reservations already past the switch entry stay fused — per-hop
+    // would have cleared the (then absent) hook at that instant too.
+    for (Tb2Adapter* a : adapters_) {
+      if (a != nullptr) a->disengage_fused_for_faults();
+    }
+  }
+  drop_fn_ = std::move(fn);
+}
+
 SPAM_HOT void SwitchFabric::transmit(Packet pkt) {
   assert(pkt.dst >= 0 && pkt.dst < size() && adapters_[pkt.dst] != nullptr);
   if (drop_fn_ && drop_fn_(pkt)) {
     ++stats_.dropped_injected;
+    // The packet never reaches the destination: retire its slow-path
+    // in-flight reservation so the fast path can re-engage after recovery.
+    adapters_[pkt.dst]->note_slow_dropped();
     sim::Trace::log(sim::TraceCat::kSwitch, engine_.now(),
                     "switch DROP injected %d->%d ch=%u seq=%u off=%u",
                     pkt.src, pkt.dst, pkt.channel, pkt.seq, pkt.offset);

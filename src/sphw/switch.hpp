@@ -6,8 +6,16 @@
 // The four redundant routes of the real switch are collapsed into one
 // FIFO path: SP AM relies on (and the real TB2 firmware provides) in-order
 // delivery, which a single path gives us by construction.
+//
+// The fabric also brokers the network fast path: senders ask it whether a
+// fault hook is armed (fused deliveries must never bypass the drop check)
+// and reach peer adapters through it to engage fused reservations; arming
+// a fault hook disengages every in-flight reservation whose switch-entry
+// instant is still in the future, so the hook sees exactly the packets the
+// per-hop simulation would have shown it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <utility>
@@ -34,8 +42,18 @@ class SwitchFabric {
 
   /// Fault injection: return true to drop the packet.  Used by tests and
   /// the fault-injection example; production runs leave it unset.
+  /// Installing a hook disengages all in-flight fused reservations that
+  /// have not yet passed their switch-entry instant.
   using DropFn = std::function<bool(const Packet&)>;
-  void set_drop_fn(DropFn fn) { drop_fn_ = std::move(fn); }
+  void set_drop_fn(DropFn fn);
+  bool has_drop_fn() const { return static_cast<bool>(drop_fn_); }
+
+  /// Peer adapter lookup for the sender-side fast path.
+  Tb2Adapter* peer(int node) { return adapters_[static_cast<std::size_t>(node)]; }
+
+  /// A fused reservation completed delivery: count it exactly as transmit()
+  /// would have at the (elided) depart event.
+  void note_fused_delivered() { ++stats_.delivered; }
 
   struct Stats {
     std::uint64_t delivered = 0;

@@ -1,0 +1,394 @@
+// Dual-mode equivalence suite for the network fast path.
+//
+// Every table/figure workload of the paper reproduction is run twice —
+// `network_fastpath = false` (the per-hop reference event chain) and
+// `true` (fused deliveries + merged wakes) — and every virtual-time
+// result must be IDENTICAL: the fast path is an event-count optimization
+// with a bit-exactness contract, never an approximation.  Doubles are
+// compared with EXPECT_EQ (exact bits, not a tolerance) and the Figure 3
+// sweep is additionally rendered to a report::Table whose output must be
+// byte-identical across modes.
+//
+// The suite ends with a seeded random-congestion fuzz that forces
+// mid-flight disengagement (many-to-one contention rollbacks plus a fault
+// hook armed mid-burst) and checks the delivery trace, the drop counts,
+// and the events_simulated() ledger all match the per-hop reference.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/nas.hpp"
+#include "apps/splitc_apps.hpp"
+#include "micro.hpp"
+#include "report/report.hpp"
+#include "sphw/machine.hpp"
+
+namespace spam {
+namespace {
+
+sphw::SpParams thin(bool fastpath) {
+  sphw::SpParams p = sphw::SpParams::thin_node();
+  p.network_fastpath = fastpath;
+  return p;
+}
+
+sphw::SpParams wide(bool fastpath) {
+  sphw::SpParams p = sphw::SpParams::wide_node();
+  p.network_fastpath = fastpath;
+  return p;
+}
+
+mpi::MpiWorldConfig mpi_cfg(mpi::MpiImpl impl, bool fastpath,
+                            bool wide_nodes = false) {
+  mpi::MpiWorldConfig cfg;
+  cfg.impl = impl;
+  cfg.nodes = 4;
+  cfg.hw = wide_nodes ? wide(fastpath) : thin(fastpath);
+  if (impl == mpi::MpiImpl::kMpiF) {
+    cfg.f_cfg =
+        wide_nodes ? mpif::MpiFConfig::wide() : mpif::MpiFConfig::thin();
+  }
+  return cfg;
+}
+
+splitc::SplitCConfig splitc_cfg(bool fastpath, int nodes = 8) {
+  splitc::SplitCConfig cfg;
+  cfg.nodes = nodes;
+  cfg.backend = splitc::Backend::kSpAm;
+  cfg.hw = thin(fastpath);
+  return cfg;
+}
+
+// --- Table 2: AM primitive overheads ----------------------------------------
+
+TEST(FastpathEquivalence, Table2AmOverheads) {
+  for (int words = 1; words <= 4; ++words) {
+    EXPECT_EQ(bench::am_request_cost_us(words, thin(false)),
+              bench::am_request_cost_us(words, thin(true)))
+        << "request_" << words;
+    EXPECT_EQ(bench::am_reply_cost_us(words, thin(false)),
+              bench::am_reply_cost_us(words, thin(true)))
+        << "reply_" << words;
+  }
+  EXPECT_EQ(bench::am_poll_empty_us(thin(false)),
+            bench::am_poll_empty_us(thin(true)));
+  EXPECT_EQ(bench::am_poll_per_msg_us(thin(false)),
+            bench::am_poll_per_msg_us(thin(true)));
+}
+
+// --- Table 3 / Table 4: round-trip latencies, thin and wide nodes -----------
+
+TEST(FastpathEquivalence, Table3And4RoundTrips) {
+  for (int words = 1; words <= 4; ++words) {
+    EXPECT_EQ(bench::am_rtt_us(words, thin(false)),
+              bench::am_rtt_us(words, thin(true)))
+        << "am_rtt words=" << words;
+  }
+  EXPECT_EQ(bench::raw_rtt_us(thin(false)), bench::raw_rtt_us(thin(true)));
+  EXPECT_EQ(bench::mpl_rtt_us(thin(false)), bench::mpl_rtt_us(thin(true)));
+  // Table 4's wide-node (model-590) column.
+  EXPECT_EQ(bench::am_rtt_us(1, wide(false)), bench::am_rtt_us(1, wide(true)));
+  EXPECT_EQ(bench::mpl_rtt_us(wide(false)), bench::mpl_rtt_us(wide(true)));
+}
+
+// --- Figure 3: the bandwidth sweep, rendered byte-identically ----------------
+
+TEST(FastpathEquivalence, Fig3BandwidthTableByteIdentical) {
+  const std::vector<std::size_t> sizes = {16, 512, 8192, 65536, 1u << 20};
+  auto render = [&](bool fastpath) {
+    report::Table t("Figure 3: AM/MPL bandwidth vs transfer size");
+    t.set_header({"bytes", "store", "get", "async store", "async get",
+                  "mpl block", "mpl pipe"});
+    const sphw::SpParams hw = thin(fastpath);
+    for (std::size_t s : sizes) {
+      char cell[32];
+      std::vector<std::string> row;
+      auto add = [&](double v) {
+        std::snprintf(cell, sizeof cell, "%.6f", v);
+        row.emplace_back(cell);
+      };
+      std::snprintf(cell, sizeof cell, "%zu", s);
+      row.emplace_back(cell);
+      add(bench::am_bandwidth_mbps(bench::AmBwMode::kSyncStore, s, hw));
+      add(bench::am_bandwidth_mbps(bench::AmBwMode::kSyncGet, s, hw));
+      add(bench::am_bandwidth_mbps(bench::AmBwMode::kPipelinedAsyncStore, s,
+                                   hw));
+      add(bench::am_bandwidth_mbps(bench::AmBwMode::kPipelinedAsyncGet, s, hw));
+      add(bench::mpl_bandwidth_mbps(bench::MplBwMode::kBlocking, s, hw));
+      add(bench::mpl_bandwidth_mbps(bench::MplBwMode::kPipelined, s, hw));
+      t.add_row(std::move(row));
+    }
+    return t.render();
+  };
+  const std::string slow = render(false);
+  const std::string fast = render(true);
+  EXPECT_EQ(slow, fast) << "Figure 3 rendering must be byte-identical";
+}
+
+// --- Figure 7: MPI protocol regimes -----------------------------------------
+
+TEST(FastpathEquivalence, Fig7ProtocolCurves) {
+  auto protocol_cfg = [](int which, bool fastpath) {
+    mpi::MpiWorldConfig cfg = mpi_cfg(mpi::MpiImpl::kAmOptimized, fastpath);
+    cfg.am_cfg = mpi::MpiAmConfig::opt();
+    if (which == 0) {  // buffered: everything eager
+      cfg.am_cfg.peer_buffer_bytes = 256 * 1024;
+      cfg.am_cfg.eager_max = 200 * 1024;
+      cfg.am_cfg.hybrid = false;
+    } else if (which == 1) {  // rendezvous: nothing eager
+      cfg.am_cfg.eager_max = 0;
+      cfg.am_cfg.hybrid = false;
+    } else {  // hybrid path for every message
+      cfg.am_cfg.eager_max = 0;
+      cfg.am_cfg.hybrid = true;
+    }
+    return cfg;
+  };
+  for (int which = 0; which < 3; ++which) {
+    for (std::size_t s : {std::size_t{512}, std::size_t{8192}}) {
+      EXPECT_EQ(bench::mpi_bandwidth_mbps(protocol_cfg(which, false), s),
+                bench::mpi_bandwidth_mbps(protocol_cfg(which, true), s))
+          << "protocol " << which << " size " << s;
+    }
+  }
+}
+
+// --- Figures 8-11: MPI latency/bandwidth, thin and wide nodes ---------------
+
+TEST(FastpathEquivalence, Fig8To11MpiCurves) {
+  using mpi::MpiImpl;
+  for (bool wide_nodes : {false, true}) {
+    for (auto impl :
+         {MpiImpl::kAmOptimized, MpiImpl::kAmUnoptimized, MpiImpl::kMpiF}) {
+      for (std::size_t s : {std::size_t{16}, std::size_t{4096}}) {
+        EXPECT_EQ(
+            bench::mpi_hop_latency_us(mpi_cfg(impl, false, wide_nodes), s),
+            bench::mpi_hop_latency_us(mpi_cfg(impl, true, wide_nodes), s))
+            << "hop latency impl=" << static_cast<int>(impl) << " size=" << s
+            << " wide=" << wide_nodes;
+      }
+      const std::size_t bw_size = 65536;
+      EXPECT_EQ(
+          bench::mpi_bandwidth_mbps(mpi_cfg(impl, false, wide_nodes), bw_size),
+          bench::mpi_bandwidth_mbps(mpi_cfg(impl, true, wide_nodes), bw_size))
+          << "bandwidth impl=" << static_cast<int>(impl)
+          << " wide=" << wide_nodes;
+    }
+    // The raw am_store reference curves drawn alongside the MPI data.
+    const sphw::SpParams slow_hw = wide_nodes ? wide(false) : thin(false);
+    const sphw::SpParams fast_hw = wide_nodes ? wide(true) : thin(true);
+    EXPECT_EQ(bench::am_store_hop_latency_us(1024, slow_hw),
+              bench::am_store_hop_latency_us(1024, fast_hw));
+    EXPECT_EQ(bench::am_store_bandwidth_mbps(65536, slow_hw),
+              bench::am_store_bandwidth_mbps(65536, fast_hw));
+  }
+}
+
+// --- Table 5: Split-C applications ------------------------------------------
+
+void expect_phase_equal(const apps::PhaseTimes& slow,
+                        const apps::PhaseTimes& fast, const char* what) {
+  EXPECT_TRUE(slow.valid) << what;
+  EXPECT_TRUE(fast.valid) << what;
+  EXPECT_EQ(slow.checksum, fast.checksum) << what;
+  EXPECT_EQ(slow.total_s, fast.total_s) << what;
+  EXPECT_EQ(slow.comm_s, fast.comm_s) << what;
+  EXPECT_EQ(slow.cpu_s, fast.cpu_s) << what;
+}
+
+TEST(FastpathEquivalence, Table5SplitCApps) {
+  auto run = [](bool fastpath) {
+    splitc::SplitCWorld w(splitc_cfg(fastpath));
+    return apps::run_matmul(w, /*nb=*/4, /*bd=*/16);
+  };
+  expect_phase_equal(run(false), run(true), "matmul");
+  for (auto variant :
+       {apps::SortVariant::kSmallMessage, apps::SortVariant::kBulk}) {
+    auto sample = [&](bool fastpath) {
+      splitc::SplitCWorld w(splitc_cfg(fastpath));
+      return apps::run_sample_sort(w, 4096, variant);
+    };
+    expect_phase_equal(sample(false), sample(true), "sample_sort");
+    auto radix = [&](bool fastpath) {
+      splitc::SplitCWorld w(splitc_cfg(fastpath));
+      return apps::run_radix_sort(w, 2048, variant);
+    };
+    expect_phase_equal(radix(false), radix(true), "radix_sort");
+  }
+}
+
+// --- Table 6: NAS kernels ----------------------------------------------------
+
+TEST(FastpathEquivalence, Table6NasKernels) {
+  using Runner = apps::NasResult (*)(mpi::MpiWorld&, int, int);
+  struct Kernel {
+    const char* name;
+    Runner run;
+    int n;
+    int iters;
+  };
+  const Kernel kernels[] = {
+      {"FT", apps::run_ft, 16, 1}, {"MG", apps::run_mg, 16, 1},
+      {"LU", apps::run_lu, 64, 1}, {"BT", apps::run_bt, 16, 1},
+      {"SP", apps::run_sp, 16, 1},
+  };
+  for (const Kernel& k : kernels) {
+    auto run = [&](bool fastpath) {
+      mpi::MpiWorld w(mpi_cfg(mpi::MpiImpl::kAmOptimized, fastpath));
+      return k.run(w, k.n, k.iters);
+    };
+    const apps::NasResult slow = run(false);
+    const apps::NasResult fast = run(true);
+    EXPECT_TRUE(slow.finished) << k.name;
+    EXPECT_TRUE(fast.finished) << k.name;
+    EXPECT_EQ(slow.checksum, fast.checksum) << k.name;
+    EXPECT_EQ(slow.time_s, fast.time_s) << k.name;
+  }
+}
+
+// --- Seeded congestion fuzz: force mid-flight disengagement ------------------
+//
+// Three senders blast randomly sized bursts at random gaps, biased toward
+// one hot receiver (many-to-one contention makes later-engaging packets
+// exit the switch before queued reservations, rolling the ledger back),
+// while the hot receiver arms and disarms a fault hook mid-burst
+// (disengaging every reservation still ahead of its switch entry).  The
+// entire observable outcome — per-receiver delivery traces with arrival
+// instants, drop counts, and the events_simulated() ledger — must match
+// the per-hop reference run exactly.
+
+struct FuzzOutcome {
+  // (receiver, src, seq, arrival time) in take order per receiver.
+  std::vector<std::tuple<int, int, std::uint32_t, sim::Time>> trace;
+  std::uint64_t injected_drops = 0;
+  std::uint64_t fifo_drops = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t fused = 0;
+  std::uint64_t events_simulated = 0;
+};
+
+FuzzOutcome run_congestion_fuzz(bool fastpath, std::uint64_t seed) {
+  constexpr int kNodes = 4;
+  constexpr int kHot = 3;  // every sender favors this receiver
+  constexpr int kPacketsPerSender = 160;
+  const sim::Time kDeadline = sim::usec(60000);
+
+  FuzzOutcome out;
+  sim::World w(kNodes);
+  sphw::SpMachine m(w, thin(fastpath));
+
+  // One fiber per node (the World contract: one NodeCtx, one program).
+  // Nodes 0..2 alternate sending bursts with draining their own receive
+  // FIFO, then keep draining until the deadline; the hot node only drains,
+  // and toggles the fault hook at seeded instants so bursts are mid-flight
+  // when it arms.  Toggling happens between polls on the hot node's fiber,
+  // a deterministic virtual instant in both modes.
+  for (int node = 0; node < kNodes; ++node) {
+    w.spawn(node, [&, node](sim::NodeCtx& ctx) {
+      std::mt19937_64 rng(seed * 1000003u + static_cast<unsigned>(node));
+      std::uniform_int_distribution<int> pick_dst(0, kNodes - 1);
+      std::uniform_int_distribution<int> payload(0, 224);
+      std::uniform_int_distribution<int> burst_len(1, 12);
+      std::uniform_real_distribution<double> gap_us(0.1, 40.0);
+      std::uniform_real_distribution<double> pause_us(0.3, 2.1);
+      std::uniform_real_distribution<double> arm_gap_us(150.0, 900.0);
+      sphw::Tb2Adapter& ad = m.adapter(node);
+      const bool sender = node != kHot;
+      int sent = 0;
+      std::uint32_t seq = 0;
+      sim::Time next_toggle =
+          node == kHot ? sim::usec(arm_gap_us(rng)) : sim::Time{0};
+      bool armed = false;
+      auto drain = [&] {
+        while (ad.host_rx_ready()) {
+          sphw::Packet p = ad.host_rx_take(ctx);
+          out.trace.emplace_back(node, static_cast<int>(p.src), p.seq,
+                                 ctx.now());
+        }
+      };
+      while (ctx.now() < kDeadline) {
+        if (node == kHot && ctx.now() >= next_toggle) {
+          armed = !armed;
+          if (armed) {
+            m.fabric().set_drop_fn(
+                [](const sphw::Packet& p) { return p.seq % 7 == 3; });
+          } else {
+            m.fabric().set_drop_fn(nullptr);
+          }
+          next_toggle = ctx.now() + sim::usec(arm_gap_us(rng));
+        }
+        if (sender && sent < kPacketsPerSender) {
+          const int burst = std::min(burst_len(rng), kPacketsPerSender - sent);
+          for (int i = 0; i < burst; ++i) {
+            ctx.poll_until([&] { return ad.host_send_space(); },
+                           sim::usec(0.7));
+            sphw::Packet p;
+            // Mostly many-to-one onto the hot node; occasionally elsewhere.
+            int dst = (rng() % 4 != 0) ? kHot : pick_dst(rng);
+            if (dst == node) dst = (node + 1) % kNodes;
+            p.dst = static_cast<std::int16_t>(dst);
+            p.seq = seq++;
+            const std::uint32_t bytes =
+                static_cast<std::uint32_t>(payload(rng));
+            p.payload_bytes = bytes;
+            p.payload.assign(bytes, std::byte{0x5a});
+            ad.host_enqueue(ctx, std::move(p));
+            ++sent;
+          }
+          drain();
+          ctx.elapse(sim::usec(gap_us(rng)));
+        } else {
+          drain();
+          ctx.elapse(sim::usec(pause_us(rng)));
+        }
+      }
+      // Settle the lazily tracked FIFO-free instants so the elide ledger
+      // is complete before the engine counters are read: per-hop mode runs
+      // each free as a real event, while the fast path counts it at the
+      // next host query — which this is.
+      (void)ad.host_send_space();
+    });
+  }
+
+  w.run();
+  for (int node = 0; node < kNodes; ++node) {
+    const sphw::Tb2Adapter::Stats& st = m.adapter(node).stats();
+    out.fifo_drops += st.rx_dropped_fifo_full;
+    out.rollbacks += st.fused_rollbacks;
+    out.fused += st.fused_deliveries;
+  }
+  out.injected_drops = m.fabric().stats().dropped_injected;
+  out.events_simulated = w.engine().events_simulated();
+  return out;
+}
+
+TEST(FastpathEquivalence, CongestionFuzzForcesRollbacks) {
+  bool saw_rollback = false;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const FuzzOutcome slow = run_congestion_fuzz(false, seed);
+    const FuzzOutcome fast = run_congestion_fuzz(true, seed);
+    EXPECT_EQ(slow.trace, fast.trace) << "seed " << seed;
+    EXPECT_EQ(slow.injected_drops, fast.injected_drops) << "seed " << seed;
+    EXPECT_EQ(slow.fifo_drops, fast.fifo_drops) << "seed " << seed;
+    // The elide ledger must balance exactly: fused mode simulates the same
+    // per-hop-equivalent event count that the reference mode executes.
+    EXPECT_EQ(slow.events_simulated, fast.events_simulated)
+        << "seed " << seed;
+    EXPECT_EQ(slow.rollbacks, 0u);
+    EXPECT_EQ(slow.fused, 0u);
+    EXPECT_GT(fast.fused, 0u) << "seed " << seed;
+    saw_rollback = saw_rollback || fast.rollbacks > 0;
+    // Some traffic must actually flow for the comparison to mean anything.
+    EXPECT_GT(slow.trace.size(), 100u) << "seed " << seed;
+  }
+  EXPECT_TRUE(saw_rollback)
+      << "no seed forced a mid-flight disengagement; strengthen the fuzz";
+}
+
+}  // namespace
+}  // namespace spam

@@ -93,7 +93,11 @@ RunResult run_workload(bool stepped) {
   sim::Trace::disable_all();
   sim::Trace::capture_to(nullptr);
 
-  out.events = world.engine().events_executed();
+  // Simulated (per-hop-equivalent) count, not executed: a deadline-crossing
+  // elapse cannot be skip-ahead elided under run_until slicing, so raw
+  // executed counts legitimately differ between sliced and free runs.  The
+  // executed + elided sum is the slicing-invariant measure of work.
+  out.events = world.engine().events_simulated();
   out.final_time = world.engine().now();
   out.trace = std::move(trace);
   return out;

@@ -1,7 +1,7 @@
 // Unit tests for the discrete-event engine: ordering, determinism, clamping.
 #include <gtest/gtest.h>
 
-#include <string>
+#include <algorithm>\n#include <string>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -92,6 +92,100 @@ TEST(Engine, NestedSchedulingChains) {
   e.run();
   EXPECT_EQ(depth, 1000);
   EXPECT_EQ(e.now(), 1000u);
+}
+
+TEST(Engine, CalendarOrdersAcrossBucketsAndHeap) {
+  // Mix of near (calendar-bucket) and far (heap, beyond the ~1 ms bucket
+  // window) events, scheduled in scrambled order, must still execute in
+  // exact (t, seq) order.
+  Engine e;
+  std::vector<Time> fired;
+  const std::vector<Time> times = {5,          kMsec * 50, 1023,      1024,
+                                   kMsec * 2,  7,          kMsec * 50 + 1,
+                                   200 * kUsec};
+  for (Time t : times) {
+    e.at(t, [&fired, &e] { fired.push_back(e.now()); });
+  }
+  e.run();
+  std::vector<Time> expect = times;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(fired, expect);
+}
+
+TEST(Engine, CalendarRebasesAfterLongIdleJump) {
+  // After the clock jumps far past the bucket window, short-horizon events
+  // must keep landing in calendar buckets (the window rebases), and order
+  // must stay exact.
+  Engine e;
+  std::vector<int> order;
+  e.at(kSec, [&] {
+    e.after(10, [&] { order.push_back(2); });
+    e.after(5, [&] { order.push_back(1); });
+    e.after(kMsec * 10, [&] { order.push_back(3); });
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), kSec + kMsec * 10);
+}
+
+TEST(Engine, SameTimeFifoAcrossCalendarAndHeap) {
+  // Same-instant events must run in scheduling order even when some were
+  // queued while the instant was beyond the bucket window (heap) and some
+  // after it entered the window (calendar).
+  Engine e;
+  std::vector<int> order;
+  const Time t = kMsec * 20;  // beyond the window at schedule time
+  e.at(t, [&] { order.push_back(0); });
+  e.at(kMsec * 19, [&] {
+    // Now t is within the window: these land in a calendar bucket.
+    e.at(t, [&] { order.push_back(1); });
+    e.at(t, [&] { order.push_back(2); });
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, ElideLedgerFoldsIntoSimulatedCount) {
+  Engine e;
+  e.at(10, [] {});
+  e.at(20, [] {});
+  e.run();
+  EXPECT_EQ(e.events_executed(), 2u);
+  EXPECT_EQ(e.events_simulated(), 2u);
+  e.note_elided(5);
+  EXPECT_EQ(e.events_executed(), 2u);
+  EXPECT_EQ(e.events_simulated(), 7u);
+  e.note_elided(-2);  // rollbacks may return elided events to the real queue
+  EXPECT_EQ(e.events_simulated(), 5u);
+}
+
+TEST(Engine, TrySkipElapseRespectsQueuedEvents) {
+  Engine e;
+  e.set_fastpath(true);
+  bool ran = false;
+  e.at(0, [&] {
+    e.after(100, [&ran] { ran = true; });
+    // Skip would cross (or tie) the queued event: must be denied.  A tie
+    // must be denied because the queued event has the smaller seq.
+    EXPECT_FALSE(e.try_skip_elapse(150));
+    EXPECT_FALSE(e.try_skip_elapse(100));
+    // Strictly before the queued event: allowed, advances the clock and
+    // counts the avoided wake as elided.
+    const std::uint64_t elided = e.events_elided();
+    EXPECT_TRUE(e.try_skip_elapse(99));
+    EXPECT_EQ(e.now(), 99u);
+    EXPECT_EQ(e.events_elided(), elided + 1);
+  });
+  e.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(Engine, TrySkipElapseDisabledInPerHopMode) {
+  Engine e;
+  e.set_fastpath(false);
+  e.at(0, [&] { EXPECT_FALSE(e.try_skip_elapse(10)); });
+  e.run();
 }
 
 TEST(TimeHelpers, Conversions) {

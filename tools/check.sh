@@ -9,6 +9,9 @@
 #   lint           spam_lint over src/ bench/ tools/ with the audited
 #                  allowlist — determinism, hot-path, fiber, header rules
 #   build          default (RelWithDebInfo) build + full ctest suite
+#   bench          bench_host_perf --quick smoke; fails if steady-state
+#                  allocations are nonzero or the virtual-time anchors
+#                  (pingpong RTT, bulk bandwidth) drift
 #   asan           -fsanitize=address build + full suite
 #   ubsan          -fsanitize=undefined (no recovery) build + full suite
 #   tsan           ThreadSanitizer build + the `driver` label tests
@@ -49,6 +52,30 @@ fi
 if ! skipped build; then
   note "default build + full test suite"
   run_preset_suite relwithdebinfo
+fi
+
+if ! skipped bench; then
+  note "bench_host_perf --quick smoke (allocs + virtual-time anchors)"
+  cmake --preset relwithdebinfo >/dev/null
+  cmake --build --preset relwithdebinfo -j "$JOBS" --target bench_host_perf
+  BENCH_JSON="$(mktemp)"
+  ./build-rwdi/bench/bench_host_perf --quick --out "$BENCH_JSON" >/dev/null
+  # Virtual-time anchors are exact: the model's RTT/bandwidth must not move
+  # when host-perf work (fast path, queue layout) changes.  Wall-clock
+  # numbers are NOT judged here — they belong to the committed baseline.
+  fail=0
+  grep -q '"zero": true' "$BENCH_JSON" ||
+    { echo "bench gate: steady_state_allocs.zero != true"; fail=1; }
+  grep -q '"virtual_rtt_us": 51.3418' "$BENCH_JSON" ||
+    { echo "bench gate: pingpong virtual_rtt_us drifted from 51.3418"; fail=1; }
+  grep -q '"virtual_bw_mbps": 34.2020' "$BENCH_JSON" ||
+    { echo "bench gate: bulk virtual_bw_mbps drifted from 34.2020"; fail=1; }
+  if [ "$fail" -ne 0 ]; then
+    cat "$BENCH_JSON"
+    rm -f "$BENCH_JSON"
+    exit 1
+  fi
+  rm -f "$BENCH_JSON"
 fi
 
 if ! skipped asan; then
