@@ -67,6 +67,9 @@ void Endpoint::wait_for_window(int dst, std::uint8_t channel,
 
 SPAM_HOT void Endpoint::merge_empty_polls() {
   if (!ctx_.engine().fastpath()) return;
+  // Flush charge debt before sampling the adapter: the rx-ready state and
+  // ready-time hints below are exact only at the node's virtual instant.
+  ctx_.settle();
   if (adapter_.host_rx_ready()) return;
   const sim::Time ready = adapter_.host_rx_ready_time();
   if (ready == 0) return;
@@ -656,11 +659,16 @@ SPAM_HOT void Endpoint::handle_packet(sphw::Packet pkt) {
 
 void Endpoint::compute(double us) {
   if (!params_.interrupt_driven) {
-    ctx_.elapse(sim::usec(us));
+    // Polling mode: pure computation, so it defers into the node's charge
+    // ledger and settles at the next poll/send.
+    ctx_.charge(sim::usec(us));
     return;
   }
   // Interrupt-driven: sleep in chunks, woken early by the adapter's
   // interrupt line; each service pass costs the interrupt latency.
+  // Flush charge debt first: the rx-ready read and the engine-relative
+  // work deadline below must anchor at this node's virtual instant.
+  ctx_.settle();
   adapter_.set_rx_notify(ctx_.make_resumer());
   sim::Time work = sim::usec(us);
   while (work > 0) {
@@ -693,6 +701,9 @@ SPAM_HOT void Endpoint::poll() {
     sphw::Packet pkt =
         adapter_.host_rx_take(ctx_, sim::usec(params_.per_msg_handling_us));
     handle_packet(std::move(pkt));
+    // Handlers may charge deferred CPU time; settle so the next rx-ready
+    // read sees every arrival up to this node's virtual instant.
+    ctx_.settle();
     received = true;
   }
   progress_bulk();

@@ -111,6 +111,7 @@ PhaseTimes run_matmul(SplitCWorld& world, int nb, int bd) {
               for (int j = 0; j < bd; ++j) crow[j] += aik * brow[j];
             }
           }
+          // spam-lint: charge-ok (one batched charge per block multiply)
           rt.charge_flops(2ull * bd * bd * bd);
         }
       }
@@ -199,32 +200,42 @@ PhaseTimes run_sample_sort(SplitCWorld& world, std::size_t n_total,
     std::vector<std::size_t> cnt(static_cast<std::size_t>(p), 0);
     if (variant == SortVariant::kSmallMessage) {
       // One scalar put per key — the fine-grain traffic that exposes
-      // per-message overhead.
+      // per-message overhead.  The routing arithmetic stays a per-key
+      // charge (the app's cost model); the node-local clock folds it into
+      // the put's send overhead, so it costs a ledger add, not an engine
+      // round-trip.  The 4-byte inbox writes are the real offender and
+      // accumulate into one memory charge after the loop.
+      std::size_t local_bytes = 0;
       for (const std::uint32_t k : keys[mei]) {
         const auto dst = static_cast<std::size_t>(
             std::upper_bound(splitters.begin(), splitters.end(), k) -
             splitters.begin());
+        // spam-lint: charge-ok (per-key cost model, deferred by the local clock)
         rt.charge_int_ops(8);
         const std::size_t slot = mei * cap + cnt[dst]++;
         assert(cnt[dst] <= cap && "inbox overflow: raise cap");
         if (static_cast<int>(dst) == me) {
           inbox[dst][slot] = k;
-          rt.charge_mem_bytes(4);
+          local_bytes += 4;
         } else {
           rt.put(gptr<std::uint32_t>{static_cast<int>(dst),
                                      &inbox[dst][slot]},
                  k);
         }
       }
+      rt.charge_mem_bytes(local_bytes);
       rt.sync();
     } else {
-      // Bulk variant: bucket locally, one store per destination.
+      // Bulk variant: bucket locally, one store per destination.  The
+      // per-key bucketing charge is pure compute, so with the local clock
+      // the whole loop accrues debt and settles once at the first store.
       std::vector<std::vector<std::uint32_t>> bucket(
           static_cast<std::size_t>(p));
       for (const std::uint32_t k : keys[mei]) {
         const auto dst = static_cast<std::size_t>(
             std::upper_bound(splitters.begin(), splitters.end(), k) -
             splitters.begin());
+        // spam-lint: charge-ok (per-key cost model, deferred by the local clock)
         rt.charge_int_ops(8);
         bucket[dst].push_back(k);
       }
@@ -236,6 +247,7 @@ PhaseTimes run_sample_sort(SplitCWorld& world, std::size_t n_total,
         if (dst == me) {
           std::memcpy(inbox[d].data() + mei * cap, bucket[d].data(),
                       bucket[d].size() * 4);
+          // spam-lint: charge-ok (one batched charge per destination)
           rt.charge_mem_bytes(bucket[d].size() * 4);
         } else {
           rt.store(gptr<std::uint32_t>{dst, inbox[d].data() + mei * cap},
@@ -348,6 +360,7 @@ PhaseTimes run_radix_sort(SplitCWorld& world, std::size_t n_total,
       for (const std::uint32_t k : cur[mei]) {
         ++h[(k >> shift) & (kRadix - 1)];
       }
+      // spam-lint: charge-ok (one batched charge per pass)
       rt.charge_int_ops(cur[mei].size() * 3);
 
       // 2. Gather histograms at 0, compute exact start offsets, push back.
@@ -364,6 +377,7 @@ PhaseTimes run_radix_sort(SplitCWorld& world, std::size_t n_total,
                             static_cast<std::size_t>(d)];
           }
         }
+        // spam-lint: charge-ok (one batched charge per pass, rank 0 only)
         rt.charge_int_ops(static_cast<std::uint64_t>(kRadix) * p * 2);
         for (int q = 1; q < p; ++q) {
           rt.store(gptr<std::uint64_t>{q, start[static_cast<std::size_t>(q)].data()},
@@ -376,19 +390,26 @@ PhaseTimes run_radix_sort(SplitCWorld& world, std::size_t n_total,
       // 3. Route every key to its exact global position.
       std::vector<std::uint64_t> ofs = start[mei];
       if (variant == SortVariant::kSmallMessage) {
+        // Per-key routing charge (the app's cost model), folded into each
+        // put's send overhead by the local clock; the 4-byte local writes
+        // accumulate into one memory charge after the loop.
+        std::size_t local_bytes = 0;
         for (const std::uint32_t k : cur[mei]) {
           const std::uint64_t g = ofs[(k >> shift) & (kRadix - 1)]++;
           const int dst = static_cast<int>(g / cap);
           const std::size_t idx = g % cap;
+          // spam-lint: charge-ok (per-key cost model, deferred by the local clock)
           rt.charge_int_ops(6);
           if (dst == me) {
             next[mei][idx] = k;
-            rt.charge_mem_bytes(4);
+            local_bytes += 4;
           } else {
             rt.put(gptr<std::uint32_t>{dst, &next[static_cast<std::size_t>(dst)][idx]},
                    k);
           }
         }
+        // spam-lint: charge-ok (one batched charge per pass)
+        rt.charge_mem_bytes(local_bytes);
         rt.sync();
         rt.barrier();
       } else {
@@ -396,6 +417,7 @@ PhaseTimes run_radix_sort(SplitCWorld& world, std::size_t n_total,
         for (const std::uint32_t k : cur[mei]) {
           const std::uint64_t g = ofs[(k >> shift) & (kRadix - 1)]++;
           const int dst = static_cast<int>(g / cap);
+          // spam-lint: charge-ok (per-key cost model, deferred by the local clock)
           rt.charge_int_ops(6);
           bucket[static_cast<std::size_t>(dst)].push_back(
               IdxKey{static_cast<std::uint32_t>(g % cap), k});
@@ -408,6 +430,7 @@ PhaseTimes run_radix_sort(SplitCWorld& world, std::size_t n_total,
           if (dst == me) {
             std::memcpy(stage[d].data() + mei * cap, bucket[d].data(),
                         bucket[d].size() * sizeof(IdxKey));
+            // spam-lint: charge-ok (one batched charge per destination)
             rt.charge_mem_bytes(bucket[d].size() * sizeof(IdxKey));
           } else {
             rt.store(gptr<IdxKey>{dst, stage[d].data() + mei * cap},
@@ -423,6 +446,7 @@ PhaseTimes run_radix_sort(SplitCWorld& world, std::size_t n_total,
             const IdxKey ik = stage[mei][s * cap + i];
             next[mei][ik.idx] = ik.key;
           }
+          // spam-lint: charge-ok (one batched charge per source)
           rt.charge_mem_bytes(c * sizeof(IdxKey));
         }
         rt.barrier();
@@ -431,6 +455,7 @@ PhaseTimes run_radix_sort(SplitCWorld& world, std::size_t n_total,
       // 4. Swap; segment sizes are exact by construction.
       cur[mei].assign(next[mei].begin(),
                       next[mei].begin() + static_cast<std::ptrdiff_t>(seg_size(me)));
+      // spam-lint: charge-ok (one batched charge per pass)
       rt.charge_mem_bytes(cur[mei].size() * 4);
       rt.barrier();
     }

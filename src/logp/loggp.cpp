@@ -46,6 +46,10 @@ void LogGpEndpoint::send(int dst, LogGpMsg msg) {
 
 void LogGpEndpoint::poll() {
   const LogGpParams& p = machine_.params();
+  // recv_debt_us_ and arrivals_ are mutated by delivery events: settle so
+  // every event up to this node's virtual instant has landed before we
+  // read them, exactly as the per-call path would have seen.
+  ctx_.settle();
   ctx_.elapse(sim::usec(p.poll_us + recv_debt_us_));
   recv_debt_us_ = 0.0;
   while (!arrivals_.empty()) {
@@ -56,7 +60,8 @@ void LogGpEndpoint::poll() {
 }
 
 void LogGpEndpoint::compute_us(double us) {
-  ctx_.elapse(sim::usec(us * machine_.params().cpu_scale));
+  // Pure compute: defer into the node's charge ledger.
+  ctx_.charge(sim::usec(us * machine_.params().cpu_scale));
 }
 
 void LogGpEndpoint::put_bytes(int dst, void* dst_addr, const void* src,

@@ -129,7 +129,7 @@ std::size_t MpiAm::charged_alloc(BufferAllocator& alloc, std::size_t need) {
   const std::size_t off = alloc.alloc(need);
   const std::uint64_t walked = alloc.stats().fit_search_steps - steps0;
   const std::uint64_t binned = alloc.stats().bin_allocs - bins0;
-  ctx_.elapse(sim::usec(cfg_.alloc_step_us *
+  ctx_.charge(sim::usec(cfg_.alloc_step_us *
                         static_cast<double>(walked + binned)));
   return off;
 }
@@ -221,7 +221,9 @@ void MpiAm::start_rendezvous(int req_id, int dst, int tag,
 }
 
 int MpiAm::isend(const void* buf, std::size_t bytes, int dst, int tag) {
-  ctx_.elapse(sim::usec(cfg_.sw_send_us));
+  // Software send overhead is pure CPU: defer it; the endpoint call below
+  // settles at its first adapter interaction.
+  ctx_.charge(sim::usec(cfg_.sw_send_us));
   const int req_id = alloc_req(/*is_recv=*/false);
   const auto* data = static_cast<const std::byte*>(buf);
   auto& pending = pending_sends_[static_cast<std::size_t>(dst)];
@@ -343,7 +345,7 @@ void MpiAm::drain_ready_stores() {
 // ---------------------------------------------------------------------------
 
 int MpiAm::irecv(void* buf, std::size_t bytes, int src, int tag) {
-  ctx_.elapse(sim::usec(cfg_.sw_recv_us));
+  ctx_.charge(sim::usec(cfg_.sw_recv_us));
   const int req_id = alloc_req(/*is_recv=*/true);
   PostedRecv r;
   r.req_id = req_id;
@@ -405,7 +407,7 @@ void MpiAm::flush_frees(int src, bool force) {
 void MpiAm::consume_prefix(int src, std::byte* dst, const std::byte* data,
                            std::uint32_t len) {
   if (len > 0) {
-    ctx_.elapse(sim::usec(static_cast<double>(len) * cfg_.copy_us_per_byte));
+    ctx_.charge(sim::usec(static_cast<double>(len) * cfg_.copy_us_per_byte));
     std::memcpy(dst, data, len);
   }
   const std::size_t offset =
@@ -433,7 +435,7 @@ void MpiAm::deliver_matched(const PostedRecv& r, const InMsg& m,
     case kKindEager: {
       const std::size_t n = std::min(r.cap, m.len);
       if (n > 0) {
-        ctx_.elapse(sim::usec(static_cast<double>(n) * cfg_.copy_us_per_byte));
+        ctx_.charge(sim::usec(static_cast<double>(n) * cfg_.copy_us_per_byte));
         std::memcpy(r.buf, m.data, n);
       }
       complete_req(r.req_id, Status{m.src, m.tag, n});

@@ -22,6 +22,9 @@ MplEndpoint::MplEndpoint(sim::NodeCtx& ctx, sphw::Tb2Adapter& adapter,
 
 int MplEndpoint::mpc_send(const void* buf, std::size_t len, int dst,
                           int tag) {
+  // Flush charge debt: progress_sends() samples adapter FIFO space, which
+  // is exact only at this node's virtual instant.
+  ctx_.settle();
   const int handle = next_handle_++;
   SendOp op;
   op.handle = handle;

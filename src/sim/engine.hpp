@@ -88,6 +88,13 @@ class Engine {
   void set_fastpath(bool on) { fastpath_ = on; }
   bool fastpath() const { return fastpath_; }
 
+  /// Enables/disables the node-local virtual clocks (deferred compute
+  /// charging, src/sim/world.cpp).  Independent of the network fast path
+  /// so the two shortcuts can be compared in isolation; benches flip it
+  /// off via --no-localclock for the dual-mode comparison.
+  void set_localclock(bool on) { localclock_ = on; }
+  bool localclock() const { return localclock_; }
+
   /// Fast path for NodeCtx::elapse: if no pending event fires at or before
   /// now()+d and now()+d does not cross the active run()/run_until()
   /// deadline, advances the clock directly and records one elided event
@@ -200,6 +207,7 @@ class Engine {
   std::int64_t elided_ = 0;
   bool stopped_ = false;
   bool fastpath_ = true;
+  bool localclock_ = true;
   // Deadline of the active run()/run_until() (0 when not running): a
   // skipped elapse must not move the clock past the point where control
   // would have returned to the caller.

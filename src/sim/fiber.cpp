@@ -13,6 +13,8 @@ namespace spam::sim {
 namespace {
 
 thread_local Fiber* g_current = nullptr;
+// Per-thread so concurrent driver Worlds don't race; see resume_count().
+thread_local std::uint64_t g_resumes = 0;
 
 }  // namespace
 
@@ -44,6 +46,8 @@ Fiber::~Fiber() {
 
 Fiber* Fiber::current() { return g_current; }
 
+std::uint64_t Fiber::resume_count() { return g_resumes; }
+
 void Fiber::run_body() { body_(); }
 
 #if defined(SPAM_SIM_UCONTEXT_FIBER)
@@ -72,6 +76,7 @@ void Fiber::resume() {
   assert(state_ != State::kFinished && "cannot resume a finished fiber");
   assert(state_ != State::kRunning);
 
+  ++g_resumes;
   if (state_ == State::kCreated) {
     getcontext(&ctx_);
     ctx_.uc_stack.ss_sp = stack_.get();
@@ -203,6 +208,7 @@ void Fiber::resume() {
   assert(state_ != State::kFinished && "cannot resume a finished fiber");
   assert(state_ != State::kRunning);
 
+  ++g_resumes;
   if (state_ == State::kCreated) prepare_stack();
   state_ = State::kRunning;
   g_current = this;

@@ -15,6 +15,8 @@
 // -DSPAM_SIM_FORCE_UCONTEXT) keep the portable ucontext path.
 #pragma once
 
+#include <cstdint>
+
 #if !defined(__x86_64__) || defined(SPAM_SIM_FORCE_UCONTEXT)
 #define SPAM_SIM_UCONTEXT_FIBER 1
 #include <ucontext.h>
@@ -69,6 +71,11 @@ class Fiber {
 
   /// The fiber currently executing, or nullptr when in the main context.
   static Fiber* current();
+
+  /// Total resume() calls on this host thread since it started (each one
+  /// is two context switches: in and back out).  Benches read deltas to
+  /// report fiber switches per simulated message.
+  static std::uint64_t resume_count();
 
   State state() const { return state_; }
   bool finished() const { return state_ == State::kFinished; }

@@ -36,9 +36,18 @@ class Trace {
   /// stderr).  Tests use this to compare full traces across runs.
   static void capture_to(std::string* sink) { sink_ = sink; }
 
+  /// Called before each emitted line (after the category-mask check, so
+  /// disabled categories stay one branch).  The fiber layer installs a
+  /// hook that settles the running node's charge debt: a trace line
+  /// renders engine-ordered state, making emission an interaction point
+  /// for the node-local virtual clocks.
+  using PreEmitHook = void (*)();
+  static void set_pre_emit_hook(PreEmitHook hook) { pre_emit_ = hook; }
+
   template <typename... Args>
   static void log(TraceCat cat, Time t, const char* fmt, Args... args) {
     if (!on(cat)) return;
+    if (pre_emit_ != nullptr) pre_emit_();
     if (sink_ != nullptr) {
       char buf[512];
       int n = std::snprintf(buf, sizeof buf, "[%12.3f us] ", to_usec(t));
@@ -60,6 +69,7 @@ class Trace {
  private:
   static inline thread_local unsigned mask_ = 0;
   static inline thread_local std::string* sink_ = nullptr;
+  static inline thread_local PreEmitHook pre_emit_ = nullptr;
 };
 
 }  // namespace spam::sim

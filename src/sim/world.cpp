@@ -3,14 +3,48 @@
 #include <sstream>
 #include <utility>
 
+#include "sim/trace.hpp"
+
 namespace spam::sim {
 
-Engine& NodeCtx::engine() { return world_->engine(); }
+namespace {
 
-Time NodeCtx::now() { return engine().now(); }
+// Marks `node` as the running node for the dynamic extent of a
+// fiber_->resume() call, restoring the previous value (the main context's
+// nullptr) when the fiber yields back.
+struct RunningNodeGuard {
+  NodeCtx* prev;
+  explicit RunningNodeGuard(NodeCtx* node) : prev(tl_running_node) {
+    tl_running_node = node;
+  }
+  ~RunningNodeGuard() { tl_running_node = prev; }
+  RunningNodeGuard(const RunningNodeGuard&) = delete;
+  RunningNodeGuard& operator=(const RunningNodeGuard&) = delete;
+};
+
+// Trace pre-emit hook: a trace line renders engine-ordered state (the
+// timestamp), so emission is an interaction point — the running node
+// settles its charge debt first.  Keeps the trace stream byte-identical
+// between local-clock modes.
+void settle_running_node() {
+  if (NodeCtx* running = tl_running_node) running->settle();
+}
+
+}  // namespace
 
 void NodeCtx::elapse(Time d) {
   assert(Fiber::current() == fiber_ && "elapse() must run on the node fiber");
+  if (debt_ != 0 || debt_charges_ != 0) {
+    // Fold the charge ledger into this sleep: same uint64-ns additions in
+    // the same order as per-call elapses, so the wake instant is
+    // bit-identical.  Each folded charge is one elapse the per-call path
+    // would have performed — credit them to the elide ledger so
+    // events_simulated() matches across modes.
+    d += debt_;
+    engine().note_elided(static_cast<std::int64_t>(debt_charges_));
+    debt_ = 0;
+    debt_charges_ = 0;
+  }
   // Fast path: when no pending event would fire during the interval, the
   // wake timer and two fiber switches are pure overhead — advance the
   // clock in place.  Equivalent because nothing could have observed or
@@ -22,6 +56,7 @@ void NodeCtx::elapse(Time d) {
     // CPU time (they latch wake_pending_ instead).
     assert(sleep_state_ == SleepState::kElapsing);
     sleep_state_ = SleepState::kRunning;
+    RunningNodeGuard guard(this);
     fiber_->resume();
   };
   static_assert(Engine::Action::fits_inline<decltype(wake)>,
@@ -32,6 +67,10 @@ void NodeCtx::elapse(Time d) {
 
 void NodeCtx::suspend() {
   assert(Fiber::current() == fiber_ && "suspend() must run on the node fiber");
+  // Settle before looking at the latch: resumer calls riding on events up
+  // to this node's virtual instant must land first, exactly as they would
+  // have during the per-call path's final elapse.
+  settle();
   if (wake_pending_) {
     // A wake arrived while we were running/elapsing; consume it now.
     wake_pending_ = false;
@@ -47,6 +86,7 @@ std::function<void()> NodeCtx::make_resumer() {
       if (fiber_ == nullptr || fiber_->finished()) return;
       if (sleep_state_ == SleepState::kWaiting) {
         sleep_state_ = SleepState::kRunning;
+        RunningNodeGuard guard(this);
         fiber_->resume();
       } else {
         // Running or elapsing: latch for the next suspend().
@@ -57,6 +97,9 @@ std::function<void()> NodeCtx::make_resumer() {
       deliver();  // already in the main context (an engine event)
     } else {
       // Called from some fiber: defer so fibers never switch directly.
+      // Settle the caller first — the deferred delivery must be stamped
+      // with the caller's virtual instant, not a stale engine clock.
+      if (NodeCtx* running = tl_running_node) running->settle();
       engine().at(engine().now(), deliver);
     }
   };
@@ -67,6 +110,10 @@ World::World(int num_nodes, std::uint64_t seed) : root_rng_(seed) {
   for (int r = 0; r < num_nodes; ++r) {
     nodes_.push_back(std::make_unique<NodeCtx>(*this, r, root_rng_.split(r)));
   }
+  // Trace emission is a charge-debt interaction point (the line renders a
+  // timestamp); idempotent across Worlds — the hook only touches the
+  // thread's running node.
+  Trace::set_pre_emit_hook(&settle_running_node);
 }
 
 World::~World() = default;
@@ -86,11 +133,19 @@ void World::launch_pending() {
   for (auto& [rank, program] : pending_) {
     NodeCtx& ctx = *nodes_[rank];
     auto fiber = std::make_unique<Fiber>(
-        [&ctx, prog = std::move(program)] { prog(ctx); }, 512 * 1024,
-        "node" + std::to_string(rank));
+        [&ctx, prog = std::move(program)] {
+          prog(ctx);
+          // A program that ends mid-charge still owes its CPU time: the
+          // node's completion instant must match the per-call path.
+          ctx.settle();
+        },
+        512 * 1024, "node" + std::to_string(rank));
     ctx.fiber_ = fiber.get();
     Fiber* f = fiber.get();
-    engine_.at(engine_.now(), [f] { f->resume(); });
+    engine_.at(engine_.now(), [f, &ctx] {
+      RunningNodeGuard guard(&ctx);
+      f->resume();
+    });
     fibers_.push_back(std::move(fiber));
   }
   pending_.clear();

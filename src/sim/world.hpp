@@ -1,11 +1,20 @@
 // World: an engine plus N simulated nodes, each running its program on a
 // cooperative fiber.
 //
-// A node's program sees virtual time through its NodeCtx: `elapse(t)`
-// charges CPU time (the only way time passes for that node), `suspend()` /
-// `make_resumer()` let hardware models park and wake a node, and `now()`
-// reads the shared clock.  Because each node has exactly one fiber, the
-// node-local clock is simply the engine clock at the instants its fiber runs.
+// A node's program sees virtual time through its NodeCtx: `elapse(t)` /
+// `charge(t)` charge CPU time (the only way time passes for that node),
+// `suspend()` / `make_resumer()` let hardware models park and wake a node,
+// and `now()` reads the clock.
+//
+// Each node carries a *local virtual clock*: `charge()` accumulates CPU
+// time into a per-node debt ledger instead of round-tripping through the
+// engine, and the debt materializes as a single engine sleep only at
+// interaction points — any `elapse()`, `suspend()`, resumer delivery from
+// a fiber, trace emission, cross-node `now()` observation, or fiber exit.
+// Debt is summed with the same uint64-ns additions in the same order the
+// per-call path would have used, so virtual times are bit-identical by
+// construction (DESIGN.md §8).  The engine's `localclock` knob disables
+// deferral (`charge` degenerates to `elapse`) for dual-mode comparison.
 #pragma once
 
 #include <cassert>
@@ -37,15 +46,38 @@ class NodeCtx {
   Engine& engine();
   Rng& rng() { return rng_; }
 
-  /// Current virtual time.
+  /// Current virtual time as seen by this node (engine clock plus any
+  /// unmaterialized charge debt).  Reading another node's clock from a
+  /// running fiber first settles the reader, so the observation happens at
+  /// the exact instant the per-call path would have reached.
   Time now();
 
   /// Charges `d` ticks of CPU time to this node: the fiber sleeps until
-  /// now()+d while the rest of the system keeps running.
+  /// now()+d while the rest of the system keeps running.  Outstanding
+  /// charge debt is folded into the sleep, so an elapse is also a
+  /// settlement point.
   void elapse(Time d);
 
   /// Charges fractional microseconds of CPU time.
   void elapse_us(double us) { elapse(usec(us)); }
+
+  /// Charges `d` ticks of CPU time without interacting with the engine:
+  /// the time is added to this node's debt ledger and materializes as one
+  /// engine sleep at the next interaction point.  Exactly equivalent to
+  /// elapse(d) for code that performs no engine-visible action before the
+  /// next settlement; use it for pure-compute charges on hot paths.
+  void charge(Time d);
+
+  /// Charges fractional microseconds of deferred CPU time.
+  void charge_us(double us) { charge(usec(us)); }
+
+  /// Materializes any outstanding charge debt as a single engine sleep.
+  /// No-op when the ledger is empty.  Every path that yields the fiber or
+  /// exposes engine-ordered state calls this first.
+  void settle();
+
+  /// Outstanding unmaterialized charge debt (diagnostics/tests).
+  Time debt() const { return debt_; }
 
   /// Parks the fiber until some event calls the resumer returned by
   /// make_resumer().  Wakes may be spurious (two resumers racing): callers
@@ -64,9 +96,14 @@ class NodeCtx {
   /// Spins until `done()` returns true, charging `poll_cost` per check.
   /// Mirrors the paper's polling discipline: waiting burns CPU in poll
   /// quanta, so "timeouts" can be emulated by counting unsuccessful polls.
+  /// Settles outstanding charge debt before the first check (predicates
+  /// may read engine-ordered state); an idle wait then composes with the
+  /// engine's elapse skip, so each empty quantum is an in-place clock bump
+  /// rather than a fiber round-trip.
   template <typename Pred>
   void poll_until(Pred&& done, Time poll_cost) {
     assert(poll_cost > 0 && "zero-cost poll loop would freeze virtual time");
+    settle();
     while (!done()) elapse(poll_cost);
   }
 
@@ -80,7 +117,21 @@ class NodeCtx {
   Fiber* fiber_ = nullptr;  // owned by World
   SleepState sleep_state_ = SleepState::kRunning;
   bool wake_pending_ = false;
+  // Local virtual clock: CPU time charged but not yet materialized as an
+  // engine sleep, and the number of charge() calls it folds (each one is
+  // an elapse the per-call path would have performed; settlement reports
+  // them to the engine's elide ledger so events_simulated() is identical
+  // in both modes).
+  Time debt_ = 0;
+  std::uint64_t debt_charges_ = 0;
 };
+
+/// The node whose fiber is currently executing, nullptr in the main/engine
+/// context.  Maintained by the three resume sites in world.cpp; read by
+/// cross-node now(), fiber-originated resumer delivery, and the trace
+/// pre-emit hook to settle the running node's charge debt before its state
+/// becomes observable.
+inline thread_local NodeCtx* tl_running_node = nullptr;
 
 class World {
  public:
@@ -122,5 +173,42 @@ class World {
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<std::pair<int, Program>> pending_;
 };
+
+inline Engine& NodeCtx::engine() { return world_->engine(); }
+
+inline Time NodeCtx::now() {
+  // Cross-node observation is an interaction point: settle the running
+  // node so the engine clock has advanced to the instant the per-call
+  // path would observe from.  (A non-running node's own debt is always
+  // zero — every yield path settles first.)
+  NodeCtx* running = tl_running_node;
+  if (running != nullptr && running != this) running->settle();
+  return engine().now() + debt_;
+}
+
+inline void NodeCtx::charge(Time d) {
+  assert(Fiber::current() == fiber_ && "charge() must run on the node fiber");
+  if (!engine().localclock()) {
+    elapse(d);
+    return;
+  }
+  debt_ += d;
+  ++debt_charges_;
+}
+
+inline void NodeCtx::settle() {
+  if (debt_ == 0 && debt_charges_ == 0) return;
+  // The elapse below stands in for the LAST deferred charge; the rest are
+  // counted as elided here.  (An elapse() that folds debt counts all n
+  // deferred charges as elided because the elapse itself exists in both
+  // modes — a settle's sleep does not, so it must count n events total to
+  // keep events_simulated() identical to per-charge mode, where settle()
+  // is a no-op.)
+  const Time d = debt_;
+  engine().note_elided(static_cast<std::int64_t>(debt_charges_) - 1);
+  debt_ = 0;
+  debt_charges_ = 0;
+  elapse(d);
+}
 
 }  // namespace spam::sim

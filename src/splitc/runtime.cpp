@@ -25,6 +25,10 @@ Runtime::Runtime(sim::NodeCtx& ctx, Transport& transport, SplitCNet& net,
 
 void Runtime::sync() {
   CommScope cs(*this);
+  // Interaction point: outstanding() and the flags below may be advanced
+  // by engine events (LogGP backend), so materialize charge debt before
+  // the first read.
+  ctx_.settle();
   while (transport_.outstanding() > 0) transport_.poll();
 }
 
@@ -32,6 +36,7 @@ void Runtime::barrier() {
   const int p = procs();
   if (p == 1) return;
   CommScope cs(*this);
+  ctx_.settle();
   const std::uint64_t gen = ++barrier_gen_;
   const int rounds = ceil_log2(p);
   const int me = my_proc();
@@ -50,6 +55,7 @@ std::uint64_t Runtime::bcast(std::uint64_t value, int root) {
   const int p = procs();
   if (p == 1) return value;
   CommScope cs(*this);
+  ctx_.settle();
   const std::uint64_t gen = ++redux_gen_;
   const auto slot = static_cast<std::size_t>(p);  // result slot
   if (my_proc() == root) {
@@ -81,6 +87,7 @@ std::uint64_t reduce_impl(Runtime& rt, SplitCNet& net, Transport& transport,
                           Combine combine) {
   const int p = transport.size();
   if (p == 1) return bits;
+  rt.ctx().settle();
   const std::uint64_t gen = ++gen_counter;
   const int me = transport.rank();
   constexpr int kRoot = 0;

@@ -169,7 +169,9 @@ class Runtime {
     charge_us(static_cast<double>(n) * cost_.us_per_byte);
   }
   void charge_us(double us) {
-    ctx_.elapse(sim::usec(us * transport_.cpu_scale()));
+    // Deferred: accumulates into the node's local clock and settles at
+    // the next communication call (see NodeCtx::charge).
+    ctx_.charge(sim::usec(us * transport_.cpu_scale()));
   }
 
   // --- Phase-time accounting (paper Figure 4 instrumentation) --------------

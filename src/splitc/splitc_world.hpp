@@ -54,6 +54,10 @@ class SplitCWorld {
         }
         break;
       case Backend::kLogGp:
+        // No SpMachine wires the engine knobs on this path; the LogGP
+        // model still shares the fiber layer, so the local-clock knob
+        // comes from hw like everywhere else.
+        world_.engine().set_localclock(cfg_.hw.local_clock);
         logp_ = std::make_unique<logp::LogGpMachine>(world_, cfg_.loggp);
         for (int n = 0; n < cfg_.nodes; ++n) {
           backends_.push_back(

@@ -1,0 +1,57 @@
+// Fixture for the hot-charge-loop rule: per-element time charging inside
+// loop bodies under src/apps/ and src/splitc/.  Every line the linter must
+// flag carries an EXPECT marker naming the rule; the rest exercises the
+// shapes the rule must leave alone (hoisted batches, audited per-pass
+// charges, do-while tails).
+
+struct Rt {
+  void charge_flops(unsigned long long n);
+  void charge_int_ops(unsigned long long n);
+  void charge_mem_bytes(unsigned long long n);
+  void charge_us(double us);
+  void elapse(long d);
+};
+
+void per_element_charges(Rt& rt, int n) {
+  for (int i = 0; i < n; ++i) {
+    rt.charge_flops(2);  // EXPECT: hot-charge-loop
+  }
+  int i = 0;
+  while (i < n) {
+    rt.charge_int_ops(8);  // EXPECT: hot-charge-loop
+    ++i;
+  }
+  do {
+    rt.elapse(100);  // EXPECT: hot-charge-loop
+  } while (--n > 0);
+  // Single-statement body, no braces.
+  for (int j = 0; j < n; ++j) rt.charge_mem_bytes(4);  // EXPECT: hot-charge-loop
+}
+
+void nested_loop_charge(Rt& rt, int n) {
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      rt.charge_us(0.1);  // EXPECT: hot-charge-loop
+    }
+  }
+}
+
+void hoisted_and_audited(Rt& rt, int n) {
+  // Hoisted batch charge: outside any loop body — clean.
+  rt.charge_flops(2ull * static_cast<unsigned long long>(n));
+  for (int i = 0; i < n; ++i) {
+    (void)i;
+  }
+  for (int pass = 0; pass < 4; ++pass) {
+    // spam-lint: charge-ok (one batched charge per pass)
+    rt.charge_int_ops(static_cast<unsigned long long>(n) * 3);
+  }
+  for (int pass = 0; pass < 4; ++pass) {
+    rt.charge_mem_bytes(4ull * static_cast<unsigned long long>(n));  // spam-lint: charge-ok (per-pass batch)
+  }
+  // A do-while tail has no body; charges after the loop are clean.
+  do {
+    (void)n;
+  } while (--n > 0);
+  rt.charge_us(1.0);
+}

@@ -108,6 +108,115 @@ TEST(World, RunUntilReportsUnfinished) {
   EXPECT_FALSE(w.run_until(10));
 }
 
+// --- Node-local virtual clocks: the charge-debt ledger -----------------------
+
+TEST(LocalClock, ChargeDefersUntilSettle) {
+  World w(1);
+  w.spawn(0, [&](NodeCtx& ctx) {
+    ctx.charge(100);
+    ctx.charge(25);
+    EXPECT_EQ(ctx.debt(), 125u);
+    EXPECT_EQ(ctx.engine().now(), 0u) << "charge must not touch the engine";
+    EXPECT_EQ(ctx.now(), 125u) << "now() is debt-inclusive";
+    ctx.settle();
+    EXPECT_EQ(ctx.debt(), 0u);
+    EXPECT_EQ(ctx.engine().now(), 125u);
+    EXPECT_EQ(ctx.now(), 125u);
+  });
+  w.run();
+}
+
+TEST(LocalClock, ElapseFoldsOutstandingDebt) {
+  World w(1);
+  w.spawn(0, [&](NodeCtx& ctx) {
+    ctx.charge(30);
+    ctx.charge(12);
+    ctx.elapse(8);  // one engine sleep covering 30+12+8
+    EXPECT_EQ(ctx.debt(), 0u);
+    EXPECT_EQ(ctx.engine().now(), 50u);
+    EXPECT_EQ(ctx.now(), 50u);
+  });
+  w.run();
+}
+
+TEST(LocalClock, KnobOffChargesImmediately) {
+  World w(1);
+  w.engine().set_localclock(false);
+  w.spawn(0, [&](NodeCtx& ctx) {
+    ctx.charge(100);
+    EXPECT_EQ(ctx.debt(), 0u);
+    EXPECT_EQ(ctx.engine().now(), 100u);
+  });
+  w.run();
+}
+
+TEST(LocalClock, SuspendSettlesBeforeSleeping) {
+  World w(2);
+  Time woke = 0;
+  std::function<void()> wake;
+  w.spawn(0, [&](NodeCtx& ctx) {
+    wake = ctx.make_resumer();
+    ctx.charge(50);
+    ctx.suspend();  // must pay the 50 first, then sleep
+    woke = ctx.now();
+  });
+  w.spawn(1, [&](NodeCtx& ctx) {
+    ctx.elapse(500);
+    wake();
+  });
+  w.run();
+  // Had suspend slept with the debt outstanding, the wake would land at
+  // 500 and the stale 50 would fold in afterwards (550).
+  EXPECT_EQ(woke, 500u);
+}
+
+TEST(LocalClock, CrossNodeObservationSettlesObserver) {
+  World w(2);
+  w.spawn(0, [&](NodeCtx& ctx) {
+    ctx.charge(40);
+    const Time peer_now = ctx.world().node(1).now();
+    EXPECT_EQ(ctx.debt(), 0u) << "observation is an interaction point";
+    EXPECT_EQ(ctx.engine().now(), 40u);
+    EXPECT_EQ(peer_now, 40u);
+  });
+  w.spawn(1, [](NodeCtx&) {});
+  w.run();
+}
+
+TEST(LocalClock, PollUntilSettlesThenPolls) {
+  World w(1);
+  Time woke = 0;
+  w.spawn(0, [&](NodeCtx& ctx) {
+    ctx.charge(5);
+    int polls = 0;
+    ctx.poll_until([&] { return ++polls > 3; }, 7);
+    woke = ctx.now();
+  });
+  w.run();
+  // One debt settlement (5) then three poll quanta (7 each).
+  EXPECT_EQ(woke, 5u + 3u * 7u);
+}
+
+TEST(LocalClock, EventLedgerMatchesPerChargeMode) {
+  auto run = [](bool local_clock) {
+    World w(2);
+    w.engine().set_localclock(local_clock);
+    for (int r = 0; r < 2; ++r) {
+      w.spawn(r, [](NodeCtx& ctx) {
+        for (int i = 0; i < 20; ++i) {
+          ctx.charge(3);
+          ctx.charge(4);
+          if (i % 3 == 0) ctx.elapse(10);
+          if (i % 7 == 0) ctx.settle();
+        }
+      });
+    }
+    w.run();
+    return w.engine().events_simulated();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
 TEST(World, DeterministicAcrossRuns) {
   auto run_once = [] {
     World w(4, /*seed=*/99);

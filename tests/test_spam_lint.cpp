@@ -117,6 +117,10 @@ TEST(SpamLint, HotPathRules) { check_fixture("src/sim/hot_violations.cpp"); }
 
 TEST(SpamLint, FiberRules) { check_fixture("src/sim/fiber_violations.cpp"); }
 
+TEST(SpamLint, ChargeLoopRules) {
+  check_fixture("src/splitc/charge_violations.cpp");
+}
+
 TEST(SpamLint, HeaderRules) { check_fixture("src/sim/bad_header.hpp"); }
 
 TEST(SpamLint, CleanFileExitsZero) {
@@ -149,7 +153,8 @@ TEST(SpamLint, WholeTreeSweepAggregates) {
   std::size_t expected = 0;
   for (const char* rel :
        {"src/sim/det_violations.cpp", "src/sim/hot_violations.cpp",
-        "src/sim/fiber_violations.cpp", "src/sim/bad_header.hpp"}) {
+        "src/sim/fiber_violations.cpp", "src/sim/bad_header.hpp",
+        "src/splitc/charge_violations.cpp"}) {
     expected += expected_violations(rel).size();
   }
   expected += 1;  // allowlisted.cpp's fiber-tls (no allowlist in this run)

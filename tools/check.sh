@@ -12,6 +12,9 @@
 #   bench          bench_host_perf --quick smoke; fails if steady-state
 #                  allocations are nonzero or the virtual-time anchors
 #                  (pingpong RTT, bulk bandwidth) drift
+#   app-bench      bench_app_perf --quick smoke; fails if steady-state
+#                  allocations are nonzero or any Table 5/6 app's virtual
+#                  result differs between the local-clock modes
 #   asan           -fsanitize=address build + full suite
 #   ubsan          -fsanitize=undefined (no recovery) build + full suite
 #   tsan           ThreadSanitizer build + the `driver` label tests
@@ -76,6 +79,33 @@ if ! skipped bench; then
     exit 1
   fi
   rm -f "$BENCH_JSON"
+fi
+
+if ! skipped app-bench; then
+  note "bench_app_perf --quick smoke (allocs + local-clock mode identity)"
+  cmake --preset relwithdebinfo >/dev/null
+  cmake --build --preset relwithdebinfo -j "$JOBS" --target bench_app_perf
+  APP_JSON="$(mktemp)"
+  ./build-rwdi/bench/bench_app_perf --quick --out "$APP_JSON" >/dev/null
+  # The bench itself runs every Table 5/6 app in both local-clock modes and
+  # compares the virtual results bit-for-bit; the gate only reads the
+  # verdict.  Wall-clock numbers are NOT judged here — they belong to the
+  # committed baseline in the JSON.
+  fail=0
+  grep -q '"zero": true' "$APP_JSON" ||
+    { echo "app-bench gate: steady_state_allocs.zero != true"; fail=1; }
+  grep -q '"virt_identical": true, "all_valid": true' "$APP_JSON" ||
+    { echo "app-bench gate: virtual results differ between clock modes"; \
+      fail=1; }
+  if [ "$fail" -ne 0 ]; then
+    cat "$APP_JSON"
+    rm -f "$APP_JSON"
+    exit 1
+  fi
+  rm -f "$APP_JSON"
+  # The microbenchmark virtual anchors (51.3418 us RTT, 34.2020 MB/s) are
+  # checked by the bench stage above, whose default run already has the
+  # local clock engaged — no separate anchor pass is needed here.
 fi
 
 if ! skipped asan; then

@@ -278,6 +278,99 @@ void check_hot_paths(RuleContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// hot-charge-loop: per-element time charging in app/runtime loop bodies.
+// ---------------------------------------------------------------------------
+
+// A charge_*()/elapse() call inside a loop body pays one ledger update per
+// element at best — and one full engine sleep (two fiber switches plus an
+// event push/pop) per element when the local clock is off.  The cost model
+// is additive, so a loop's compute cost folds into a single hoisted
+// `count * unit` charge with identical simulated time.  Where the loop
+// itself *is* the batching (one charge per pass, per destination, per
+// iteration), audit the call with `// spam-lint: charge-ok`.
+void check_charge_loops(RuleContext& ctx) {
+  const auto& toks = ctx.file.tokens;
+
+  static const std::unordered_set<std::string> charge_calls = {
+      "charge",         "charge_us",        "charge_flops",
+      "charge_int_ops", "charge_mem_bytes", "elapse",
+      "elapse_us",
+  };
+
+  // Pass 1: mark every token that sits inside some loop body.  Loop bodies
+  // are found lexically: `for`/`while` followed by a parenthesized head and
+  // either a brace block or a single statement, plus `do { ... }`.  A `;`
+  // right after the head is a do-while tail or an empty body — skipped.
+  std::vector<char> in_loop(toks.size(), 0);
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || t.in_directive) continue;
+    std::size_t body = 0;  // index of the body's first token
+    if (t.text == "for" || t.text == "while") {
+      if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+      int depth = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (close == 0 || close + 1 >= toks.size()) continue;
+      body = close + 1;
+      if (toks[body].text == ";") continue;
+    } else if (t.text == "do") {
+      if (i + 1 >= toks.size() || toks[i + 1].text != "{") continue;
+      body = i + 1;
+    } else {
+      continue;
+    }
+    std::size_t end = body;
+    if (toks[body].text == "{") {
+      int depth = 0;
+      for (std::size_t j = body; j < toks.size(); ++j) {
+        if (toks[j].text == "{") ++depth;
+        if (toks[j].text == "}" && --depth == 0) {
+          end = j;
+          break;
+        }
+      }
+    } else {
+      // Single-statement body: through the next ';' at top nesting level.
+      int paren = 0, brace = 0;
+      for (std::size_t j = body; j < toks.size(); ++j) {
+        if (toks[j].text == "(") ++paren;
+        if (toks[j].text == ")") --paren;
+        if (toks[j].text == "{") ++brace;
+        if (toks[j].text == "}") --brace;
+        if (toks[j].text == ";" && paren == 0 && brace == 0) {
+          end = j;
+          break;
+        }
+      }
+    }
+    for (std::size_t j = body; j <= end && j < toks.size(); ++j) {
+      in_loop[j] = 1;
+    }
+  }
+
+  // Pass 2: flag charge-family calls on marked tokens.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (in_loop[i] == 0) continue;
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || t.in_directive) continue;
+    if (charge_calls.count(t.text) == 0 || !is_call(toks, i)) continue;
+    if (ctx.has_marker(t.line, "charge-ok")) continue;
+    ctx.report("hot-charge-loop", t.line,
+               t.text +
+                   "() inside a loop body charges time per element; hoist "
+                   "one batched charge out of the loop or audit with "
+                   "`// spam-lint: charge-ok`");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // fiber-*: patterns that break under fiber stack switching.
 // ---------------------------------------------------------------------------
 
@@ -557,6 +650,10 @@ std::vector<Violation> run_rules(const LexedFile& file,
 
   if (in_sim_scope(rel_path)) check_determinism(ctx);
   if (starts_with(rel_path, "src/")) check_fiber_safety(ctx);
+  if (starts_with(rel_path, "src/apps/") ||
+      starts_with(rel_path, "src/splitc/")) {
+    check_charge_loops(ctx);
+  }
   check_hot_paths(ctx);
   if (is_header(rel_path)) check_header_hygiene(ctx);
 

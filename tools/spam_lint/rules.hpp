@@ -13,6 +13,11 @@
 //                       function
 //   hot-growth          push_back/emplace_back inside a SPAM_HOT function
 //                       without a `// spam-lint: capacity-ok` annotation
+//   hot-charge-loop     charge_*()/elapse() inside a loop body under
+//                       src/apps or src/splitc — per-element time charging
+//                       defeats local-clock batching; hoist one
+//                       `count * unit` charge or audit the batching with
+//                       `// spam-lint: charge-ok`
 //   fiber-tls           a thread_local declaration in src/ — a raw
 //                       thread_local read cached in a register across a
 //                       Fiber switch goes stale; every such variable must
@@ -26,8 +31,9 @@
 //
 // Scoping: the det-* rules apply only under the deterministic simulation
 // roots (src/sim, src/sphw, src/am, src/mpi, src/splitc); fiber-* rules
-// apply under src/; hot-* rules apply wherever SPAM_HOT appears; hdr-*
-// rules apply to every .hpp.  Paths are evaluated relative to --root.
+// apply under src/; hot-alloc/hot-growth apply wherever SPAM_HOT appears;
+// hot-charge-loop applies under src/apps and src/splitc; hdr-* rules apply
+// to every .hpp.  Paths are evaluated relative to --root.
 //
 // Suppression: a violation is dropped when (a) the allowlist has a matching
 // entry (see allowlist.hpp), or (b) the line or the line above carries
