@@ -58,6 +58,8 @@ class Trace {
         if (m > 0) n += m;
       }
       sink_->append(buf, std::min(static_cast<std::size_t>(n), sizeof buf - 1));
+      // spam-lint: capacity-ok — trace sink is observability only; tracing
+      // is disabled in measurement runs
       sink_->push_back('\n');
       return;
     }

@@ -1,0 +1,54 @@
+// Fixture: the AM handler-suspension classifier.  Four handlers are
+// registered, one per verdict path:
+//
+//   h_never_    calls only resolvable, non-suspending code -> NEVER_SUSPENDS
+//   h_may_      reaches a suspension primitive two calls deep -> MAY_SUSPEND
+//   h_unknown_  invokes a std::function member -> UNKNOWN
+//   h_audited_  reaches the same primitive but carries an audited
+//               `spam-lint: never-suspends` at the registration -> NEVER
+//
+// tests/test_spam_lint.cpp runs `--handlers-out` over this file and
+// asserts the emitted handler_classes.json matches.
+//
+// This file is linted, never compiled.
+#include <functional>
+
+namespace fixture {
+
+struct HfxCtx {
+  int counter = 0;
+  void suspend();  // name matches the suspension-primitive set
+  void bookkeep() { ++counter; }
+};
+
+struct HfxEndpoint {
+  template <class F>
+  int register_handler(F f);
+  template <class F>
+  int register_bulk_handler(F f);
+};
+
+inline void hfx_blocks_two_deep(HfxCtx& c) { c.suspend(); }
+inline void hfx_blocks_one_deep(HfxCtx& c) { hfx_blocks_two_deep(c); }
+inline void hfx_leaf_bookkeeping(HfxCtx& c) { c.bookkeep(); }
+
+struct HfxBackend {
+  HfxEndpoint ep_;
+  HfxCtx ctx_;
+  std::function<void()> cb_;
+  int h_never_ = 0;
+  int h_may_ = 0;
+  int h_unknown_ = 0;
+  int h_audited_ = 0;
+
+  void install() {
+    h_never_ = ep_.register_handler([this]() { hfx_leaf_bookkeeping(ctx_); });
+    h_may_ = ep_.register_handler([this]() { hfx_blocks_one_deep(ctx_); });
+    h_unknown_ = ep_.register_handler([this]() { cb_(); });
+    // spam-lint: never-suspends fixture audit: asserted run-to-completion
+    h_audited_ =
+        ep_.register_bulk_handler([this]() { hfx_blocks_one_deep(ctx_); });
+  }
+};
+
+}  // namespace fixture

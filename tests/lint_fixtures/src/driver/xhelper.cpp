@@ -1,0 +1,22 @@
+// Fixture: the callee side of the cross-TU pair (see src/sim/xcaller.cpp).
+// src/driver is outside both the sim scope and any SPAM_HOT body, so the
+// v1 linter never looks at this file's internals; the EXPECT lines below
+// fire only when xcaller.cpp is linted in the same run and the call graph
+// links the TUs.
+//
+// This file is linted, never compiled.
+#include <ctime>
+#include <vector>
+
+namespace fixture {
+
+void xfx_helper_reads_clock() {
+  (void)time(nullptr);  // EXPECT: det-wallclock
+}
+
+void xfx_helper_hot_leaf() {
+  std::vector<int> v;
+  v.push_back(1);  // EXPECT: hot-growth
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: cross-TU reachability roots.  This file (sim scope) holds the
+// SPAM_HOT root and the sim-scope entry point; the functions they call
+// live in src/driver/xhelper.cpp, a directory where neither hot-* nor
+// det-* rules apply *directly*.  Linted together, the call graph carries
+// both taints across the TU boundary and xhelper.cpp's EXPECT lines fire;
+// linted alone, xhelper.cpp is clean.
+//
+// This file is linted, never compiled.
+
+#define SPAM_HOT [[gnu::hot]]
+
+namespace fixture {
+
+void xfx_helper_reads_clock();  // defined in src/driver/xhelper.cpp
+void xfx_helper_hot_leaf();
+
+// A sim-scope definition: a det root for everything it reaches.
+inline void xfx_sim_entry() { xfx_helper_reads_clock(); }
+
+// A hot root whose leaf lives in the other TU.
+SPAM_HOT inline void xfx_hot_entry() { xfx_helper_hot_leaf(); }
+
+}  // namespace fixture

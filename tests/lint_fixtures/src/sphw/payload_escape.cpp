@@ -1,0 +1,49 @@
+// Fixture: payload-escape.  A stored view of a packet's payload outlives
+// the delivering handler (the arena recycles the storage), so member
+// stores and container stores are flagged; consuming the bytes in place
+// and re-pointing a packet's own payload are allowed, and an audited
+// drained ring passes with `spam-lint: payload-ok`.
+//
+// This file is linted, never compiled.
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+namespace fixture {
+
+struct PfxView {
+  const void* p = nullptr;
+  std::size_t n = 0;
+};
+
+struct PfxPacket {
+  PfxView payload;
+};
+
+struct PfxState {
+  PfxView saved_;
+  std::vector<PfxView> ring_;
+
+  void pfx_escape_member(const PfxPacket& pkt) {
+    saved_ = pkt.payload;  // EXPECT: payload-escape
+  }
+
+  void pfx_escape_container(const PfxPacket& pkt) {
+    ring_.push_back(pkt.payload);  // EXPECT: payload-escape
+  }
+
+  void pfx_consume_ok(const PfxPacket& pkt, void* dst) {
+    std::memcpy(dst, pkt.payload.p, pkt.payload.n);  // copies: allowed
+  }
+
+  void pfx_repoint_ok(PfxPacket& pkt, const PfxPacket& other) {
+    pkt.payload = other.payload;  // assignment TO a packet's view: allowed
+  }
+
+  void pfx_audited(const PfxPacket& pkt) {
+    // spam-lint: payload-ok fixture: ring drained before the pool recycles
+    ring_.push_back(pkt.payload);
+  }
+};
+
+}  // namespace fixture

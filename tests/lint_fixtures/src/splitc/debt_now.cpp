@@ -1,0 +1,39 @@
+// Fixture: debt-engine-now.  Under the runtime layers the engine clock
+// excludes the node's unsettled charge debt, so raw engine_.now() /
+// engine().now() reads are flagged; NodeCtx-style ctx.now() is the
+// correct spelling and passes.
+//
+// This file is linted, never compiled.
+
+namespace fixture {
+
+struct DfxEngine {
+  long now();
+};
+
+struct DfxCtx {
+  DfxEngine& engine();
+  long now();
+};
+
+struct DfxNode {
+  DfxEngine& engine_;
+  DfxCtx& ctx_;
+
+  long dfx_bad_direct() {
+    return engine_.now();  // EXPECT: debt-engine-now
+  }
+
+  long dfx_bad_via_accessor() {
+    return ctx_.engine().now();  // EXPECT: debt-engine-now
+  }
+
+  long dfx_good(DfxCtx& ctx) { return ctx.now(); }  // folds the ledger
+
+  long dfx_audited() {
+    // spam-lint: allow(debt-engine-now) fixture: engine-context code
+    return engine_.now();
+  }
+};
+
+}  // namespace fixture

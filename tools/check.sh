@@ -7,7 +7,14 @@
 #
 # Stages (in order):
 #   lint           spam_lint over src/ bench/ tools/ with the audited
-#                  allowlist — determinism, hot-path, fiber, header rules
+#                  allowlist — determinism, hot-path, fiber, header rules,
+#                  the cross-TU transitive passes and the AM handler
+#                  classifier (artifacts under build-rwdi/lint/); stale
+#                  allowlist entries are errors, and the full-tree run
+#                  must finish inside a 2 s budget
+#   lint-self      spam_lint over its own sources, plus a standalone
+#                  -fsyntax-only compile of each tool header (the tool is
+#                  not covered by the src/ header-hygiene object library)
 #   build          default (RelWithDebInfo) build + full ctest suite
 #   bench          bench_host_perf --quick smoke; fails if steady-state
 #                  allocations are nonzero or the virtual-time anchors
@@ -46,10 +53,49 @@ run_preset_suite() {  # <preset> [ctest-preset]
 }
 
 if ! skipped lint; then
-  note "spam_lint (determinism / hot-path / fiber / header rules)"
+  note "spam_lint (per-file rules + call graph + handler classifier)"
   cmake --preset relwithdebinfo >/dev/null
   cmake --build --preset relwithdebinfo -j "$JOBS" --target spam_lint
-  ./build-rwdi/tools/spam_lint/spam_lint --root . src bench tools
+  LINT=./build-rwdi/tools/spam_lint/spam_lint
+  LINT_OUT=build-rwdi/lint
+  mkdir -p "$LINT_OUT"
+  # Machine-readable artifacts first (|| true: they must exist for CI
+  # upload even when the gating run below fails).
+  "$LINT" --root . --format=sarif src bench tools \
+    > "$LINT_OUT/spam_lint.sarif" 2>/dev/null || true
+  "$LINT" --root . --format=json src bench tools \
+    > "$LINT_OUT/spam_lint.json" 2>/dev/null || true
+  # The gating run: violations and stale allowlist entries both fail, and
+  # the whole-tree walk (lex + rules + call graph) must stay under the 2 s
+  # latency budget that keeps the lint viable as a pre-commit hook.
+  start_ms=$(date +%s%3N)
+  "$LINT" --root . --stale=error \
+    --handlers-out "$LINT_OUT/handler_classes.json" src bench tools
+  lint_ms=$(( $(date +%s%3N) - start_ms ))
+  if [ "$lint_ms" -ge 2000 ]; then
+    echo "lint gate: full-tree spam_lint took ${lint_ms} ms (budget 2000 ms)"
+    exit 1
+  fi
+  echo "spam_lint: full tree in ${lint_ms} ms (budget 2000 ms)"
+fi
+
+if ! skipped lint-self; then
+  note "spam_lint self-lint + tool header hygiene"
+  # The linter holds itself to its own rules (hdr-* apply to every header;
+  # the analyzer passes run over its sources like any others)...
+  # (--no-default-allowlist: the audited exceptions are all src/-side, and
+  # a subtree run would report every one of them stale)
+  ./build-rwdi/tools/spam_lint/spam_lint --root . --no-default-allowlist \
+    tools/spam_lint
+  # ...and each tool header must compile standalone — the src/ hygiene
+  # object library in tests/ does not cover tools/.
+  for hdr in tools/spam_lint/*.hpp; do
+    tu="$(mktemp --suffix=.cpp)"
+    printf '#include "%s"\n#include "%s"\n' "$PWD/$hdr" "$PWD/$hdr" > "$tu"
+    c++ -std=c++20 -fsyntax-only -I tools/spam_lint "$tu" ||
+      { echo "lint-self: $hdr is not self-contained"; rm -f "$tu"; exit 1; }
+    rm -f "$tu"
+  done
 fi
 
 if ! skipped build; then

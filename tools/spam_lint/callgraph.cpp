@@ -1,0 +1,396 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rules.hpp"
+
+namespace spam::lint {
+namespace {
+
+// Call names that ARE suspension points, matched before any resolution.
+// `charge` is deliberately absent: its deferred-debt path never yields,
+// and its localclock-off fallback to elapse() is covered by the audited
+// `never-suspends` marker on NodeCtx::charge (see src/sim/world.hpp).
+const std::unordered_set<std::string>& suspension_primitives() {
+  static const std::unordered_set<std::string> set = {
+      "suspend", "elapse", "elapse_us", "settle", "poll_until", "yield",
+  };
+  return set;
+}
+
+// External names known not to suspend a fiber: libc/std free functions,
+// std container/utility members, and std type constructors.  A name that
+// is neither here nor defined in the linted tree taints its caller as
+// "reaches unresolved code".
+const std::unordered_set<std::string>& safe_externals() {
+  static const std::unordered_set<std::string> set = {
+      // libc / cstdio / cstring / cstdlib
+      "memcpy", "memmove", "memset", "memcmp", "strlen", "strcmp", "strncmp",
+      "strchr", "strstr", "snprintf", "sprintf", "printf", "fprintf",
+      "fputc", "fputs", "puts", "fwrite", "fread", "fopen", "fclose",
+      "fflush", "ferror", "abort", "exit", "atexit", "malloc", "calloc",
+      "realloc", "free", "strdup", "strtol", "strtoul", "strtoull",
+      "strtod", "atoi", "atol", "abs", "labs", "llabs", "assert",
+      "isalpha", "isalnum", "isdigit", "isspace", "islower", "isupper",
+      "tolower", "toupper", "getline", "perror",
+      // <algorithm> / <numeric> / <utility> / <memory>
+      "min", "max", "clamp", "sort", "stable_sort", "fill", "fill_n",
+      "copy", "copy_n", "any_of", "all_of", "none_of", "find_if",
+      "find_first_of", "count_if", "accumulate", "iota", "lower_bound",
+      "upper_bound", "equal", "lexicographical_compare", "remove",
+      "remove_if", "unique", "reverse", "rotate", "swap", "exchange",
+      "move", "forward", "declval", "get_if", "make_pair", "make_tuple",
+      "tie", "apply", "visit", "holds_alternative", "distance", "advance",
+      "next", "prev", "make_unique", "make_shared", "addressof", "launder",
+      "to_string", "stoi", "stol", "stoull", "from_chars", "to_chars",
+      // container / string / smart-pointer members
+      "push_back", "emplace_back", "pop_back", "push_front", "emplace_front",
+      "pop_front", "emplace", "emplace_hint", "insert", "erase", "clear",
+      "resize", "reserve", "shrink_to_fit", "assign", "at", "front", "back",
+      "begin", "end", "cbegin", "cend", "rbegin", "rend", "empty", "data",
+      "capacity", "count", "contains", "find", "bucket_count", "substr",
+      "c_str", "str", "append", "compare", "length", "push", "pop", "top",
+      "reset", "release", "get_deleter", "swap", "load", "exchange",
+      "fetch_add", "fetch_sub", "compare_exchange_weak",
+      "compare_exchange_strong", "value", "value_or", "has_value",
+      "operator",
+      // std type constructors spelled as calls
+      "string", "vector", "pair", "tuple", "optional", "function",
+      "runtime_error", "logic_error", "out_of_range", "invalid_argument",
+      "length_error",
+  };
+  return set;
+}
+
+// ALL_CAPS identifiers are macros by repo convention (SPAM_TRACE,
+// SPAM_HOT, ...): opaque to a lexical parser, treated as neutral leaves
+// rather than unresolved taint.  Documented in docs/static-analysis.md.
+bool macro_like(const std::string& s) {
+  if (s.empty() || !(std::isupper(static_cast<unsigned char>(s[0])) != 0)) {
+    return false;
+  }
+  for (char c : s) {
+    if (!(std::isupper(static_cast<unsigned char>(c)) != 0 ||
+          std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool has_marker_near(const LexedFile& file, int line, const char* marker) {
+  for (int l : {line, line - 1, line - 2}) {
+    auto it = file.markers.find(l);
+    if (it != file.markers.end() && it->second.count(marker) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* handler_class_name(HandlerClass c) {
+  switch (c) {
+    case HandlerClass::kNeverSuspends:
+      return "NEVER_SUSPENDS";
+    case HandlerClass::kMaySuspend:
+      return "MAY_SUSPEND";
+    case HandlerClass::kUnknown:
+      return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+void CallGraph::add_file(const LexedFile* file, std::vector<FunctionSym> syms) {
+  for (FunctionSym& s : syms) {
+    GraphNode node;
+    node.sym = std::move(s);
+    node.file = file;
+    nodes_.push_back(std::move(node));
+  }
+}
+
+void CallGraph::finalize() {
+  // Name index over real definitions (handler lambdas and synthesized
+  // registration records are roots, never call targets).
+  std::unordered_map<std::string, std::vector<int>> by_name;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const FunctionSym& sym = nodes_[i].sym;
+    if (sym.name == "<lambda>" || sym.name == "<handler>") continue;
+    by_name[sym.name].push_back(static_cast<int>(i));
+  }
+
+  for (GraphNode& node : nodes_) {
+    std::unordered_set<int> edge_set;
+    for (const CallSite& call : node.sym.calls) {
+      if (call.indirect) {
+        node.indirect_call = true;
+        continue;
+      }
+      if (suspension_primitives().count(call.name) != 0) {
+        if (!node.calls_primitive) {
+          node.calls_primitive = true;
+          node.primitive = call.name;
+        }
+        continue;
+      }
+      if (call.std_qual) continue;  // `std::name(...)`: external by spelling
+      auto defs = by_name.find(call.name);
+      if (defs != by_name.end()) {
+        bool linked = false;
+        for (int d : defs->second) {
+          const FunctionSym& target = nodes_[static_cast<std::size_t>(d)].sym;
+          const bool arity_ok =
+              call.argc < 0 || target.param_max < 0 ||
+              (call.argc >= target.param_min && call.argc <= target.param_max);
+          if (!arity_ok) continue;
+          linked = true;
+          if (edge_set.insert(d).second) node.callees.push_back(d);
+        }
+        if (linked) continue;
+        // Defined in-repo but no overload takes this many arguments: the
+        // name collides with something else (e.g. `ptr.get()` vs a 7-arg
+        // Endpoint::get).  Unresolved is the honest answer.
+      }
+      if (safe_externals().count(call.name) != 0) continue;
+      if (macro_like(call.name)) continue;
+      node.unresolved.push_back(call.name);
+    }
+    std::sort(node.unresolved.begin(), node.unresolved.end());
+    node.unresolved.erase(
+        std::unique(node.unresolved.begin(), node.unresolved.end()),
+        node.unresolved.end());
+    if (!node.unresolved.empty()) node.first_unresolved = node.unresolved[0];
+    if (node.indirect_call && node.first_unresolved.empty()) {
+      node.first_unresolved = "<indirect call>";
+    }
+
+    // Audited suspension cut: marker at the definition or registration.
+    node.audited_never =
+        node.file != nullptr &&
+        (has_marker_near(*node.file, node.sym.line, "never-suspends") ||
+         (node.sym.is_handler &&
+          has_marker_near(*node.file, node.sym.handler_line,
+                          "never-suspends")));
+  }
+
+  // Fixpoint: suspend / unresolved flow callee -> caller; an audited
+  // function neither originates nor forwards either taint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GraphNode& node : nodes_) {
+      if (node.audited_never) continue;
+      if (!node.reaches_suspend) {
+        if (node.calls_primitive) {
+          node.reaches_suspend = true;
+          changed = true;
+        } else {
+          for (std::size_t e = 0; e < node.callees.size(); ++e) {
+            const GraphNode& c =
+                nodes_[static_cast<std::size_t>(node.callees[e])];
+            if (c.reaches_suspend && !c.audited_never) {
+              node.reaches_suspend = true;
+              node.suspend_via = node.callees[e];
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!node.reaches_unresolved) {
+        if (!node.unresolved.empty() || node.indirect_call) {
+          node.reaches_unresolved = true;
+          changed = true;
+        } else {
+          for (int e : node.callees) {
+            const GraphNode& c = nodes_[static_cast<std::size_t>(e)];
+            if (c.reaches_unresolved && !c.audited_never) {
+              node.reaches_unresolved = true;
+              if (node.first_unresolved.empty()) {
+                node.first_unresolved = c.first_unresolved;
+              }
+              changed = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Fixpoint: hot / det flow caller -> callee.
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      GraphNode& node = nodes_[i];
+      const bool hot_src = node.sym.spam_hot || node.hot_reach;
+      const bool det_src =
+          node.det_reach || in_sim_scope(node.sym.file);
+      if (!hot_src && !det_src) continue;
+      for (int e : node.callees) {
+        GraphNode& c = nodes_[static_cast<std::size_t>(e)];
+        if (hot_src && !c.hot_reach && !c.sym.spam_hot) {
+          c.hot_reach = true;
+          c.hot_from = static_cast<int>(i);
+          changed = true;
+        }
+        if (det_src && !c.det_reach && !in_sim_scope(c.sym.file)) {
+          c.det_reach = true;
+          c.det_from = static_cast<int>(i);
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+std::vector<HandlerInfo> CallGraph::classify_handlers() const {
+  std::vector<HandlerInfo> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const GraphNode& node = nodes_[i];
+    if (!node.sym.is_handler) continue;
+    HandlerInfo info;
+    info.node = static_cast<int>(i);
+    if (node.audited_never) {
+      info.cls = HandlerClass::kNeverSuspends;
+      info.audited = true;
+      info.why = "audited: `spam-lint: never-suspends` at the registration "
+                 "or definition";
+    } else if (node.reaches_suspend) {
+      info.cls = HandlerClass::kMaySuspend;
+      info.witness = suspend_chain(static_cast<int>(i));
+      info.why = "reaches suspension primitive";
+      if (!info.witness.empty()) {
+        info.why += " `" + info.witness.back() + "`";
+      }
+    } else if (node.reaches_unresolved) {
+      info.cls = HandlerClass::kUnknown;
+      info.why = "reaches unresolved call `" + node.first_unresolved + "`";
+    } else {
+      info.cls = HandlerClass::kNeverSuspends;
+      info.why = "no suspension primitive reachable";
+    }
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [this](const HandlerInfo& a, const HandlerInfo& b) {
+              const FunctionSym& sa =
+                  nodes_[static_cast<std::size_t>(a.node)].sym;
+              const FunctionSym& sb =
+                  nodes_[static_cast<std::size_t>(b.node)].sym;
+              if (sa.file != sb.file) return sa.file < sb.file;
+              if (sa.handler_line != sb.handler_line) {
+                return sa.handler_line < sb.handler_line;
+              }
+              return sa.handler_bulk < sb.handler_bulk;
+            });
+  return out;
+}
+
+std::vector<std::string> CallGraph::suspend_chain(int node) const {
+  std::vector<std::string> chain;
+  int cur = node;
+  for (int hops = 0; cur >= 0 && hops < 16; ++hops) {
+    const GraphNode& n = nodes_[static_cast<std::size_t>(cur)];
+    chain.push_back(n.sym.qual.empty() ? n.sym.name : n.sym.qual);
+    if (n.calls_primitive) {
+      chain.push_back(n.primitive);
+      break;
+    }
+    cur = n.suspend_via;
+  }
+  return chain;
+}
+
+namespace {
+
+std::string climb_chain(const std::vector<GraphNode>& nodes, int node,
+                        int GraphNode::*from) {
+  std::vector<std::string> names;
+  int cur = node;
+  for (int hops = 0; cur >= 0 && hops < 8; ++hops) {
+    const GraphNode& n = nodes[static_cast<std::size_t>(cur)];
+    names.push_back(n.sym.qual.empty() ? n.sym.name : n.sym.qual);
+    cur = n.*from;
+  }
+  std::string out;
+  for (std::size_t i = names.size(); i-- > 0;) {
+    if (!out.empty()) out += " -> ";
+    out += names[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CallGraph::hot_chain(int node) const {
+  return climb_chain(nodes_, node, &GraphNode::hot_from);
+}
+
+std::string CallGraph::det_chain(int node) const {
+  return climb_chain(nodes_, node, &GraphNode::det_from);
+}
+
+bool CallGraph::def_line_allows(const GraphNode& n,
+                                const std::string& rule) const {
+  if (n.file == nullptr) return false;
+  const std::string marker = "allow(" + rule + ")";
+  for (int l : {n.sym.line, n.sym.line - 1, n.sym.line - 2}) {
+    auto it = n.file->markers.find(l);
+    if (it != n.file->markers.end() && it->second.count(marker) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Violation> CallGraph::transitive_violations() const {
+  std::vector<Violation> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const GraphNode& node = nodes_[i];
+    const FunctionSym& sym = node.sym;
+    if (node.file == nullptr) continue;
+    if (sym.body_begin == 0 && sym.body_end == 0) continue;
+
+    std::vector<Violation> local;
+    if (node.hot_reach && !sym.spam_hot) {
+      // Alloc/growth in a function the hot path reaches; SPAM_HOT bodies
+      // themselves are covered by the direct per-body pass.
+      scan_hot_body(*node.file, sym.body_begin, sym.body_end,
+                    " [on the hot path: " + hot_chain(static_cast<int>(i)) +
+                        "]",
+                    &local);
+    }
+    if (node.hot_reach || sym.spam_hot) {
+      // Charge-in-loop anywhere the hot path reaches; src/apps and
+      // src/splitc files are already swept whole-file by the direct pass.
+      const std::string& f = sym.file;
+      const bool direct_swept = f.rfind("src/apps/", 0) == 0 ||
+                                f.rfind("src/splitc/", 0) == 0;
+      if (!direct_swept) {
+        scan_charge_loop_body(
+            *node.file, sym.body_begin, sym.body_end,
+            " [on the hot path: " + hot_chain(static_cast<int>(i)) + "]",
+            &local);
+      }
+    }
+    if (node.det_reach && !in_sim_scope(sym.file)) {
+      scan_det_body(*node.file, sym.body_begin, sym.body_end,
+                    " [reachable from the simulation: " +
+                        det_chain(static_cast<int>(i)) + "]",
+                    &local);
+    }
+    for (Violation& v : local) {
+      if (def_line_allows(node, v.rule)) continue;
+      v.file = sym.file;
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace spam::lint

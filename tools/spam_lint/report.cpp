@@ -1,0 +1,171 @@
+#include "report.hpp"
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace spam::lint {
+namespace {
+
+std::string itoa(int v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", v);
+  return buf;
+}
+
+std::string q(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_json(const std::vector<Finding>& findings,
+                        int files_linted,
+                        const std::vector<AllowEntry>& stale) {
+  std::string out = "{\n";
+  out += "  \"tool\": \"spam_lint\",\n";
+  out += "  \"files_linted\": " + itoa(files_linted) + ",\n";
+  out += "  \"violation_count\": " +
+         itoa(static_cast<int>(findings.size())) + ",\n";
+  out += "  \"violations\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": " + q(f.file) + ", \"line\": " + itoa(f.line) +
+           ", \"rule\": " + q(f.rule) + ", \"message\": " + q(f.message) +
+           "}";
+  }
+  out += findings.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"stale_allowlist_entries\": [";
+  for (std::size_t i = 0; i < stale.size(); ++i) {
+    const AllowEntry& e = stale[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"rule\": " + q(e.rule) + ", \"path_suffix\": " +
+           q(e.path_suffix) + ", \"line_substring\": " + q(e.line_substring) +
+           "}";
+  }
+  out += stale.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  // One rule descriptor per distinct ruleId, sorted for stable output.
+  std::set<std::string> rule_ids;
+  for (const Finding& f : findings) rule_ids.insert(f.rule);
+
+  std::string out = "{\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out +=
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"runs\": [\n    {\n";
+  out += "      \"tool\": {\n        \"driver\": {\n";
+  out += "          \"name\": \"spam_lint\",\n";
+  out +=
+      "          \"informationUri\": "
+      "\"docs/static-analysis.md\",\n";
+  out += "          \"rules\": [";
+  std::size_t ri = 0;
+  for (const std::string& id : rule_ids) {
+    out += ri++ == 0 ? "\n" : ",\n";
+    out += "            {\"id\": " + q(id) + "}";
+  }
+  out += rule_ids.empty() ? "]\n" : "\n          ]\n";
+  out += "        }\n      },\n";
+  out += "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "        {\n";
+    out += "          \"ruleId\": " + q(f.rule) + ",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": " + q(f.message) + "},\n";
+    out += "          \"locations\": [{\"physicalLocation\": {";
+    out += "\"artifactLocation\": {\"uri\": " + q(f.file) + "}, ";
+    out += "\"region\": {\"startLine\": " + itoa(f.line) + "}}}]\n";
+    out += "        }";
+  }
+  out += findings.empty() ? "]\n" : "\n      ]\n";
+  out += "    }\n  ]\n}\n";
+  return out;
+}
+
+std::string render_handler_report(const CallGraph& graph,
+                                  const std::vector<HandlerInfo>& handlers) {
+  int never = 0, may = 0, unknown = 0;
+  for (const HandlerInfo& h : handlers) {
+    switch (h.cls) {
+      case HandlerClass::kNeverSuspends: ++never; break;
+      case HandlerClass::kMaySuspend: ++may; break;
+      case HandlerClass::kUnknown: ++unknown; break;
+    }
+  }
+
+  std::string out = "{\n";
+  out += "  \"tool\": \"spam_lint\",\n";
+  out += "  \"report\": \"handler_classes\",\n";
+  out += "  \"summary\": {\"handlers\": " +
+         itoa(static_cast<int>(handlers.size())) +
+         ", \"never_suspends\": " + itoa(never) +
+         ", \"may_suspend\": " + itoa(may) +
+         ", \"unknown\": " + itoa(unknown) + "},\n";
+  out += "  \"handlers\": [";
+  for (std::size_t i = 0; i < handlers.size(); ++i) {
+    const HandlerInfo& h = handlers[i];
+    const GraphNode& n = graph.nodes()[static_cast<std::size_t>(h.node)];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    out += "      \"name\": " + q(n.sym.handler_name) + ",\n";
+    out += "      \"file\": " + q(n.sym.file) + ",\n";
+    out += "      \"line\": " + itoa(n.sym.handler_line) + ",\n";
+    out += std::string("      \"kind\": ") +
+           (n.sym.handler_bulk ? "\"bulk\"" : "\"msg\"") + ",\n";
+    out += std::string("      \"lambda\": ") +
+           (n.sym.name == "<lambda>" ? "true" : "false") + ",\n";
+    out += std::string("      \"class\": \"") + handler_class_name(h.cls) +
+           "\",\n";
+    out += std::string("      \"audited\": ") +
+           (h.audited ? "true" : "false") + ",\n";
+    out += "      \"why\": " + q(h.why);
+    if (h.cls == HandlerClass::kMaySuspend && !h.witness.empty()) {
+      out += ",\n      \"witness\": [";
+      for (std::size_t w = 0; w < h.witness.size(); ++w) {
+        if (w != 0) out += ", ";
+        out += q(h.witness[w]);
+      }
+      out += "]";
+    }
+    if (h.cls == HandlerClass::kUnknown) {
+      out += ",\n      \"unresolved\": " + q(n.first_unresolved);
+    }
+    out += "\n    }";
+  }
+  out += handlers.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace spam::lint

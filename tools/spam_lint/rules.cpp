@@ -20,18 +20,17 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// The deterministic simulation roots: everything the paper's numbers come
-// out of.  Host-side tooling (driver, report, bench mains) may read clocks;
-// these directories may not.
-bool in_sim_scope(const std::string& rel) {
-  static const std::array<const char*, 5> roots = {
-      "src/sim/", "src/sphw/", "src/am/", "src/mpi/", "src/splitc/"};
-  return std::any_of(roots.begin(), roots.end(),
-                     [&](const char* r) { return starts_with(rel, r); });
-}
-
 bool is_header(const std::string& rel) {
   return ends_with(rel, ".hpp") || ends_with(rel, ".h");
+}
+
+// The runtime layers living on top of the simulated clock: the only
+// correct time read there is NodeCtx::now(), which folds unsettled debt.
+bool in_runtime_scope(const std::string& rel) {
+  static const std::array<const char*, 4> roots = {
+      "src/am/", "src/mpi/", "src/splitc/", "src/apps/"};
+  return std::any_of(roots.begin(), roots.end(),
+                     [&](const char* r) { return starts_with(rel, r); });
 }
 
 // True when token i is qualified as `std::<tok>`.
@@ -54,8 +53,10 @@ bool is_member_access(const std::vector<Token>& toks, std::size_t i) {
 
 struct RuleContext {
   const LexedFile& file;
-  const std::string& rel;
   std::vector<Violation>* out;
+  // Appended to every message: the call-graph passes use it to say *why*
+  // an unannotated function is being held to hot/det rules.
+  std::string provenance;
 
   void report(const std::string& rule, int line, std::string msg) {
     // Inline suppression: `// spam-lint: allow(rule)` on this line or the
@@ -65,7 +66,7 @@ struct RuleContext {
       auto it = file.markers.find(l);
       if (it != file.markers.end() && it->second.count(marker) != 0) return;
     }
-    out->push_back(Violation{rule, line, std::move(msg)});
+    out->push_back(Violation{rule, line, std::move(msg) + provenance, ""});
   }
 
   // Markers may sit on the same line or in a (possibly two-line) comment
@@ -83,7 +84,9 @@ struct RuleContext {
 // det-*: nondeterminism sources inside the simulation layers.
 // ---------------------------------------------------------------------------
 
-void check_determinism(RuleContext& ctx) {
+// Single-token determinism checks over [begin, end): shared between the
+// whole-file pass and the call-graph's body pass.
+void det_sites_scan(RuleContext& ctx, std::size_t begin, std::size_t end) {
   const auto& toks = ctx.file.tokens;
 
   static const std::unordered_set<std::string> wallclock_calls = {
@@ -104,7 +107,7 @@ void check_determinism(RuleContext& ctx) {
       "getenv", "secure_getenv",
   };
 
-  for (std::size_t i = 0; i < toks.size(); ++i) {
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
     const Token& t = toks[i];
     if (t.kind != TokKind::kIdent || t.in_directive) continue;
 
@@ -142,10 +145,17 @@ void check_determinism(RuleContext& ctx) {
       continue;
     }
   }
+}
+
+void check_determinism(RuleContext& ctx) {
+  const auto& toks = ctx.file.tokens;
+
+  det_sites_scan(ctx, 0, toks.size());
 
   // det-unordered-iter: collect names declared with an unordered container
   // type in this file, then flag range-for statements whose range
-  // expression mentions one of them.
+  // expression mentions one of them.  (File-level only: the declaration
+  // and the loop must be matched up, which a body slice cannot do.)
   std::unordered_set<std::string> unordered_names;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     if (toks[i].kind != TokKind::kIdent || toks[i].in_directive) continue;
@@ -200,8 +210,49 @@ void check_determinism(RuleContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
-// hot-*: allocation bans inside SPAM_HOT functions.
+// hot-*: allocation bans inside SPAM_HOT (and hot-reachable) functions.
 // ---------------------------------------------------------------------------
+
+// Allocation/growth sites over [begin, end): shared between the direct
+// SPAM_HOT-body pass and the call-graph's hot-reachable pass.
+void hot_sites_scan(RuleContext& ctx, std::size_t begin, std::size_t end) {
+  const auto& toks = ctx.file.tokens;
+  for (std::size_t j = begin; j < end && j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind != TokKind::kIdent || t.in_directive) continue;
+    if (t.text == "new") {
+      // Placement new (`new (addr) T`) reuses storage; allowed.
+      if (j + 1 < toks.size() && toks[j + 1].text == "(") continue;
+      ctx.report("hot-alloc", t.line,
+                 "operator new inside a SPAM_HOT function; hot-path "
+                 "storage must come from a pool");
+    } else if (t.text == "make_unique" || t.text == "make_shared") {
+      ctx.report("hot-alloc", t.line,
+                 "std::" + t.text +
+                     " allocates inside a SPAM_HOT function; hot-path "
+                     "storage must come from a pool");
+    } else if ((t.text == "malloc" || t.text == "calloc" ||
+                t.text == "realloc" || t.text == "strdup") &&
+               is_call(toks, j)) {
+      ctx.report("hot-alloc", t.line,
+                 t.text + "() inside a SPAM_HOT function; hot-path "
+                          "storage must come from a pool");
+    } else if (t.text == "function" && std_qualified(toks, j)) {
+      ctx.report("hot-alloc", t.line,
+                 "std::function may heap-allocate its closure inside a "
+                 "SPAM_HOT function; use sim::InlineAction");
+    } else if ((t.text == "push_back" || t.text == "emplace_back") &&
+               is_call(toks, j)) {
+      if (!ctx.has_marker(t.line, "capacity-ok")) {
+        ctx.report("hot-growth", t.line,
+                   t.text +
+                       " inside a SPAM_HOT function without a "
+                       "`// spam-lint: capacity-ok` audit that steady-state "
+                       "capacity is already reserved");
+      }
+    }
+  }
+}
 
 void check_hot_paths(RuleContext& ctx) {
   const auto& toks = ctx.file.tokens;
@@ -238,41 +289,7 @@ void check_hot_paths(RuleContext& ctx) {
       }
     }
 
-    for (std::size_t j = open + 1; j < close; ++j) {
-      const Token& t = toks[j];
-      if (t.kind != TokKind::kIdent) continue;
-      if (t.text == "new") {
-        // Placement new (`new (addr) T`) reuses storage; allowed.
-        if (j + 1 < toks.size() && toks[j + 1].text == "(") continue;
-        ctx.report("hot-alloc", t.line,
-                   "operator new inside a SPAM_HOT function; hot-path "
-                   "storage must come from a pool");
-      } else if (t.text == "make_unique" || t.text == "make_shared") {
-        ctx.report("hot-alloc", t.line,
-                   "std::" + t.text +
-                       " allocates inside a SPAM_HOT function; hot-path "
-                       "storage must come from a pool");
-      } else if ((t.text == "malloc" || t.text == "calloc" ||
-                  t.text == "realloc" || t.text == "strdup") &&
-                 is_call(toks, j)) {
-        ctx.report("hot-alloc", t.line,
-                   t.text + "() inside a SPAM_HOT function; hot-path "
-                            "storage must come from a pool");
-      } else if (t.text == "function" && std_qualified(toks, j)) {
-        ctx.report("hot-alloc", t.line,
-                   "std::function may heap-allocate its closure inside a "
-                   "SPAM_HOT function; use sim::InlineAction");
-      } else if ((t.text == "push_back" || t.text == "emplace_back") &&
-                 is_call(toks, j)) {
-        if (!ctx.has_marker(t.line, "capacity-ok")) {
-          ctx.report("hot-growth", t.line,
-                     t.text +
-                         " inside a SPAM_HOT function without a "
-                         "`// spam-lint: capacity-ok` audit that steady-state "
-                         "capacity is already reserved");
-        }
-      }
-    }
+    hot_sites_scan(ctx, open + 1, close);
     i = close;
   }
 }
@@ -288,8 +305,9 @@ void check_hot_paths(RuleContext& ctx) {
 // `count * unit` charge with identical simulated time.  Where the loop
 // itself *is* the batching (one charge per pass, per destination, per
 // iteration), audit the call with `// spam-lint: charge-ok`.
-void check_charge_loops(RuleContext& ctx) {
+void charge_loops_scan(RuleContext& ctx, std::size_t begin, std::size_t end) {
   const auto& toks = ctx.file.tokens;
+  const std::size_t limit = std::min(end, toks.size());
 
   static const std::unordered_set<std::string> charge_calls = {
       "charge",         "charge_us",        "charge_flops",
@@ -302,7 +320,7 @@ void check_charge_loops(RuleContext& ctx) {
   // either a brace block or a single statement, plus `do { ... }`.  A `;`
   // right after the head is a do-while tail or an empty body — skipped.
   std::vector<char> in_loop(toks.size(), 0);
-  for (std::size_t i = 0; i < toks.size(); ++i) {
+  for (std::size_t i = begin; i < limit; ++i) {
     const Token& t = toks[i];
     if (t.kind != TokKind::kIdent || t.in_directive) continue;
     std::size_t body = 0;  // index of the body's first token
@@ -326,13 +344,13 @@ void check_charge_loops(RuleContext& ctx) {
     } else {
       continue;
     }
-    std::size_t end = body;
+    std::size_t loop_end = body;
     if (toks[body].text == "{") {
       int depth = 0;
       for (std::size_t j = body; j < toks.size(); ++j) {
         if (toks[j].text == "{") ++depth;
         if (toks[j].text == "}" && --depth == 0) {
-          end = j;
+          loop_end = j;
           break;
         }
       }
@@ -345,18 +363,18 @@ void check_charge_loops(RuleContext& ctx) {
         if (toks[j].text == "{") ++brace;
         if (toks[j].text == "}") --brace;
         if (toks[j].text == ";" && paren == 0 && brace == 0) {
-          end = j;
+          loop_end = j;
           break;
         }
       }
     }
-    for (std::size_t j = body; j <= end && j < toks.size(); ++j) {
+    for (std::size_t j = body; j <= loop_end && j < toks.size(); ++j) {
       in_loop[j] = 1;
     }
   }
 
   // Pass 2: flag charge-family calls on marked tokens.
-  for (std::size_t i = 0; i < toks.size(); ++i) {
+  for (std::size_t i = begin; i < limit; ++i) {
     if (in_loop[i] == 0) continue;
     const Token& t = toks[i];
     if (t.kind != TokKind::kIdent || t.in_directive) continue;
@@ -367,6 +385,124 @@ void check_charge_loops(RuleContext& ctx) {
                    "() inside a loop body charges time per element; hoist "
                    "one batched charge out of the loop or audit with "
                    "`// spam-lint: charge-ok`");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// payload-escape: Packet::payload views stored beyond handler scope.
+// ---------------------------------------------------------------------------
+
+// The PR 1 zero-copy arena recycles a packet's payload storage once the
+// delivering handler returns; a view stashed in a member or pushed into a
+// container dangles on the next pool cycle.  Consuming the bytes in place
+// (memcpy from `pkt.payload.data()`) and re-pointing a *packet's* payload
+// (`pkt.payload = ...`) are both fine; storing the view is not.  A ring
+// that is provably drained before the pool recycles can be audited with
+// `// spam-lint: payload-ok`.
+void check_payload_escape(RuleContext& ctx) {
+  const auto& toks = ctx.file.tokens;
+
+  static const std::unordered_set<std::string> store_calls = {
+      "push_back", "emplace_back", "push_front", "emplace_front",
+      "emplace",   "insert",       "assign",
+  };
+
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || t.in_directive || t.text != "payload") {
+      continue;
+    }
+    const std::string& prev = toks[i - 1].text;
+    const bool via_dot = prev == ".";
+    const bool via_arrow = prev == ">" && i >= 2 && toks[i - 2].text == "-";
+    if (!via_dot && !via_arrow) continue;
+    // Assignment TO the payload re-points the view: allowed.
+    if (i + 1 < toks.size() && toks[i + 1].text == "=") continue;
+    if (ctx.has_marker(t.line, "payload-ok")) continue;
+
+    // Walk back through the statement: the first top-level `=` or
+    // enclosing '(' decides what happens to the view.
+    int depth = 0;
+    for (std::size_t j = i - 1; j-- > 0;) {
+      const std::string& b = toks[j].text;
+      if (b == ";" || b == "{" || b == "}" || b == "return") break;
+      if (b == ")" || b == "]") {
+        ++depth;
+        continue;
+      }
+      if (b == "[") {
+        --depth;
+        continue;
+      }
+      if (b == "(") {
+        if (depth > 0) {
+          --depth;
+          continue;
+        }
+        // Enclosing call: storing the view into a container escapes it.
+        if (j > 0 && toks[j - 1].kind == TokKind::kIdent &&
+            store_calls.count(toks[j - 1].text) != 0) {
+          ctx.report("payload-escape", t.line,
+                     toks[j - 1].text +
+                         "(... .payload ...) stores a payload view in a "
+                         "container; the arena recycles the storage after "
+                         "the handler returns — copy the bytes or audit a "
+                         "drained ring with `// spam-lint: payload-ok`");
+        }
+        break;
+      }
+      if (b == "=" && depth == 0) {
+        // `lhs = ... .payload`: flag stores into members (the `_`-suffix
+        // convention, or an explicit this->).
+        const bool member_lhs =
+            (j > 0 && toks[j - 1].kind == TokKind::kIdent &&
+             ends_with(toks[j - 1].text, "_")) ||
+            (j > 3 && toks[j - 3].text == "this");
+        if (member_lhs) {
+          ctx.report("payload-escape", t.line,
+                     "a payload view is stored into a member; the arena "
+                     "recycles the storage after the handler returns — copy "
+                     "the bytes or audit with `// spam-lint: payload-ok`");
+        }
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// debt-engine-now: raw engine clock reads above the settlement line.
+// ---------------------------------------------------------------------------
+
+// PR 5's contract: under the runtime layers, a node's clock is
+// engine().now() *plus its unsettled charge debt*.  Reading the engine
+// clock raw silently drops the debt term and skips the cross-node
+// settlement NodeCtx::now() performs.  src/sim and src/sphw run in engine
+// context and are exempt.
+void check_debt_now(RuleContext& ctx) {
+  const auto& toks = ctx.file.tokens;
+  for (std::size_t i = 2; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || t.in_directive || t.text != "now") {
+      continue;
+    }
+    if (!is_call(toks, i)) continue;
+    const std::string& p1 = toks[i - 1].text;
+    if (p1 != "." && !(p1 == ">" && toks[i - 2].text == "-")) continue;
+    const std::size_t recv = p1 == "." ? i - 2 : i - 3;
+    bool engine_recv = false;
+    if (toks[recv].text == "engine_") {
+      engine_recv = true;
+    } else if (toks[recv].text == ")" && recv >= 2 &&
+               toks[recv - 1].text == "(" &&
+               toks[recv - 2].text == "engine") {
+      engine_recv = true;  // `engine().now()` / `ctx.engine().now()`
+    }
+    if (!engine_recv) continue;
+    ctx.report("debt-engine-now", t.line,
+               "raw engine clock read in a runtime layer drops this node's "
+               "unsettled charge debt; use NodeCtx::now(), which folds the "
+               "ledger and settles cross-node observations");
   }
 }
 
@@ -643,16 +779,30 @@ void check_header_hygiene(RuleContext& ctx) {
 
 }  // namespace
 
+// The deterministic simulation roots: everything the paper's numbers come
+// out of.  Host-side tooling (driver, report, bench mains) may read clocks;
+// these directories may not.
+bool in_sim_scope(const std::string& rel_path) {
+  static const std::array<const char*, 5> roots = {
+      "src/sim/", "src/sphw/", "src/am/", "src/mpi/", "src/splitc/"};
+  return std::any_of(roots.begin(), roots.end(),
+                     [&](const char* r) { return starts_with(rel_path, r); });
+}
+
 std::vector<Violation> run_rules(const LexedFile& file,
                                  const std::string& rel_path) {
   std::vector<Violation> out;
-  RuleContext ctx{file, rel_path, &out};
+  RuleContext ctx{file, &out, ""};
 
-  if (in_sim_scope(rel_path)) check_determinism(ctx);
+  if (in_sim_scope(rel_path)) {
+    check_determinism(ctx);
+    check_payload_escape(ctx);
+  }
+  if (in_runtime_scope(rel_path)) check_debt_now(ctx);
   if (starts_with(rel_path, "src/")) check_fiber_safety(ctx);
   if (starts_with(rel_path, "src/apps/") ||
       starts_with(rel_path, "src/splitc/")) {
-    check_charge_loops(ctx);
+    charge_loops_scan(ctx, 0, file.tokens.size());
   }
   check_hot_paths(ctx);
   if (is_header(rel_path)) check_header_hygiene(ctx);
@@ -662,6 +812,28 @@ std::vector<Violation> run_rules(const LexedFile& file,
                      return a.line < b.line;
                    });
   return out;
+}
+
+void scan_hot_body(const LexedFile& file, std::size_t body_begin,
+                   std::size_t body_end, const std::string& provenance,
+                   std::vector<Violation>* out) {
+  RuleContext ctx{file, out, provenance};
+  hot_sites_scan(ctx, body_begin + 1, body_end);
+}
+
+void scan_charge_loop_body(const LexedFile& file, std::size_t body_begin,
+                           std::size_t body_end,
+                           const std::string& provenance,
+                           std::vector<Violation>* out) {
+  RuleContext ctx{file, out, provenance};
+  charge_loops_scan(ctx, body_begin + 1, body_end);
+}
+
+void scan_det_body(const LexedFile& file, std::size_t body_begin,
+                   std::size_t body_end, const std::string& provenance,
+                   std::vector<Violation>* out) {
+  RuleContext ctx{file, out, provenance};
+  det_sites_scan(ctx, body_begin + 1, body_end);
 }
 
 }  // namespace spam::lint

@@ -10,13 +10,16 @@
 //                       and must never feed results
 //   hot-alloc           heap-allocating construct (`new`, make_unique/shared,
 //                       malloc-family, std::function) inside a SPAM_HOT
-//                       function
-//   hot-growth          push_back/emplace_back inside a SPAM_HOT function
-//                       without a `// spam-lint: capacity-ok` annotation
+//                       function, or in any function the call graph proves
+//                       reachable from one
+//   hot-growth          push_back/emplace_back inside a SPAM_HOT (or
+//                       hot-reachable) function without a
+//                       `// spam-lint: capacity-ok` annotation
 //   hot-charge-loop     charge_*()/elapse() inside a loop body under
-//                       src/apps or src/splitc — per-element time charging
-//                       defeats local-clock batching; hoist one
-//                       `count * unit` charge or audit the batching with
+//                       src/apps or src/splitc, or in any hot-reachable
+//                       function — per-element time charging defeats
+//                       local-clock batching; hoist one `count * unit`
+//                       charge or audit the batching with
 //                       `// spam-lint: charge-ok`
 //   fiber-tls           a thread_local declaration in src/ — a raw
 //                       thread_local read cached in a register across a
@@ -25,21 +28,37 @@
 //   fiber-tsan-inline   __tsan_*fiber announcement called from a function
 //                       not marked always_inline (out-of-line helpers
 //                       unbalance TSan's shadow call stacks — the PR 2 bug)
+//   payload-escape      a Packet::payload view stored into a member or a
+//                       container — the zero-copy arena recycles payload
+//                       storage after the handler returns, so views must
+//                       not outlive handler scope; audit a drained ring
+//                       with `// spam-lint: payload-ok`
+//   debt-engine-now     a raw engine().now()/engine_.now() read under the
+//                       runtime layers (src/am, src/mpi, src/splitc,
+//                       src/apps) — the engine clock excludes this node's
+//                       unsettled charge debt; NodeCtx::now() folds the
+//                       ledger and is the only correct read there
 //   hdr-pragma-once     a header whose first directive is not #pragma once
 //   hdr-self-contained  a header using a std:: symbol whose canonical
 //                       <header> it does not itself include
 //
 // Scoping: the det-* rules apply only under the deterministic simulation
-// roots (src/sim, src/sphw, src/am, src/mpi, src/splitc); fiber-* rules
-// apply under src/; hot-alloc/hot-growth apply wherever SPAM_HOT appears;
-// hot-charge-loop applies under src/apps and src/splitc; hdr-* rules apply
-// to every .hpp.  Paths are evaluated relative to --root.
+// roots (src/sim, src/sphw, src/am, src/mpi, src/splitc) plus, through the
+// call graph, anything those roots reach; fiber-* rules apply under src/;
+// hot-alloc/hot-growth apply wherever SPAM_HOT appears plus anything
+// hot-reachable; hot-charge-loop applies under src/apps and src/splitc
+// plus anything hot-reachable; payload-escape applies under the sim roots;
+// debt-engine-now applies under src/am, src/mpi, src/splitc, src/apps;
+// hdr-* rules apply to every .hpp.  Paths are evaluated relative to
+// --root.
 //
 // Suppression: a violation is dropped when (a) the allowlist has a matching
-// entry (see allowlist.hpp), or (b) the line or the line above carries
-// `// spam-lint: allow(<rule-id>)`.
+// entry (see allowlist.hpp), or (b) the line (or up to two lines above)
+// carries `// spam-lint: allow(<rule-id>)`, or (c) for call-graph findings,
+// the same marker sits at the reachable function's *definition*.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -51,11 +70,34 @@ struct Violation {
   std::string rule;     // rule id, e.g. "hot-alloc"
   int line = 0;         // 1-based
   std::string message;  // human-readable explanation
+  std::string file;     // rel path; filled by cross-TU passes (the per-file
+                        // pass leaves it empty and the caller knows the file)
 };
 
-/// Runs every applicable rule over one lexed file.  `rel_path` is the
-/// path relative to the lint root, using '/' separators.
+/// True under the deterministic simulation roots (src/sim, src/sphw,
+/// src/am, src/mpi, src/splitc).
+bool in_sim_scope(const std::string& rel_path);
+
+/// Runs every applicable per-file rule over one lexed file.  `rel_path` is
+/// the path relative to the lint root, using '/' separators.
 std::vector<Violation> run_rules(const LexedFile& file,
                                  const std::string& rel_path);
+
+// Body-scoped scans reused by the call-graph layer (callgraph.cpp) for
+// functions that are only *transitively* hot or sim-reachable.  The token
+// range is [body_begin, body_end] as recorded in FunctionSym; `provenance`
+// is appended to each message (e.g. the hot chain).  Inline
+// `spam-lint:` markers at the offending line are honored; definition-line
+// suppression is the caller's job.
+void scan_hot_body(const LexedFile& file, std::size_t body_begin,
+                   std::size_t body_end, const std::string& provenance,
+                   std::vector<Violation>* out);
+void scan_charge_loop_body(const LexedFile& file, std::size_t body_begin,
+                           std::size_t body_end,
+                           const std::string& provenance,
+                           std::vector<Violation>* out);
+void scan_det_body(const LexedFile& file, std::size_t body_begin,
+                   std::size_t body_end, const std::string& provenance,
+                   std::vector<Violation>* out);
 
 }  // namespace spam::lint
